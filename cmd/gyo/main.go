@@ -1,0 +1,257 @@
+// Command gyo analyzes database schemas with the paper's machinery.
+//
+// Usage:
+//
+//	gyo classify  "ab, bc, cd"            tree/cyclic/γ status, GR(D), qual tree
+//	gyo reduce    [-x attrs] "schema"     GYO reduction trace GR(D, X)
+//	gyo cc        -x attrs "schema"       canonical connection CC(D, X)
+//	gyo jointree  "schema"                qual tree edges
+//	gyo lossless  "schema" "subschema"    decide ⋈D ⊨ ⋈D′
+//	gyo treefy    [-k n] [-b n] "schema"  treefication (Cor. 3.2 / Thm 4.2)
+//	gyo witness   "schema"                Lemma 3.1 cyclicity certificate
+//
+// Schemas use the paper's notation: single-letter attributes, relation
+// schemas separated by commas, e.g. "abg, bcg, acf, ad, de, ea".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gyokit"
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "classify":
+		err = cmdClassify(args)
+	case "reduce":
+		err = cmdReduce(args)
+	case "cc":
+		err = cmdCC(args)
+	case "jointree":
+		err = cmdJoinTree(args)
+	case "lossless":
+		err = cmdLossless(args)
+	case "treefy":
+		err = cmdTreefy(args)
+	case "witness":
+		err = cmdWitness(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gyo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gyo <classify|reduce|cc|jointree|lossless|treefy|witness> [flags] "schema" ...`)
+}
+
+func parseSchema(u *gyokit.Universe, s string) (*gyokit.Schema, error) {
+	return gyokit.Parse(u, s)
+}
+
+func cmdClassify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("classify needs one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, args[0])
+	if err != nil {
+		return err
+	}
+	cls, err := gyokit.Classify(d)
+	if err != nil {
+		return err
+	}
+	kind := "cyclic"
+	if cls.Tree {
+		kind = "tree"
+	}
+	fmt.Printf("schema:      %s\n", d)
+	fmt.Printf("type:        %s\n", kind)
+	fmt.Printf("γ-acyclic:   %v\n", cls.GammaAcyclic)
+	fmt.Printf("GR(D):       %s\n", cls.GR)
+	if cls.Tree {
+		fmt.Printf("qual tree:   %v\n", cls.QualTree.Edges())
+	} else {
+		fmt.Printf("treefy with: %s (Corollary 3.2)\n", u.FormatSet(cls.TreefyingRelation))
+	}
+	return nil
+}
+
+func cmdReduce(args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ContinueOnError)
+	sacred := fs.String("x", "", "sacred attributes (never deleted), e.g. \"abc\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("reduce needs one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	x := schema.MustSet(u, *sacred)
+	res := gyokit.GYOReduce(d, x)
+	fmt.Printf("D:        %s\n", d)
+	if !x.IsEmpty() {
+		fmt.Printf("X:        %s\n", u.FormatSet(x))
+	}
+	for i, op := range res.Trace {
+		switch op.Kind {
+		case gyo.AttrDelete:
+			fmt.Printf("step %-3d  delete attribute %s from R%d (%s)\n",
+				i+1, u.Name(op.Attr), op.Rel, u.FormatSet(d.Rels[op.Rel]))
+		case gyo.SubsetEliminate:
+			fmt.Printf("step %-3d  eliminate R%d (⊆ R%d)\n", i+1, op.Rel, op.Into)
+		}
+	}
+	fmt.Printf("GR(D, X): %s\n", res.GR)
+	fmt.Printf("empty:    %v (tree schema iff true when X = ∅)\n", res.Empty())
+	return nil
+}
+
+func cmdCC(args []string) error {
+	fs := flag.NewFlagSet("cc", flag.ContinueOnError)
+	target := fs.String("x", "", "target attributes, e.g. \"abc\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *target == "" {
+		return fmt.Errorf("cc needs -x target and one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	x := schema.MustSet(u, *target)
+	sol, err := gyokit.SolveByJoins(d, x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("D:          %s\n", d)
+	fmt.Printf("X:          %s\n", u.FormatSet(x))
+	fmt.Printf("CC(D, X):   %s\n", sol.CC)
+	fmt.Printf("sources:    %v\n", sol.Sources)
+	fmt.Printf("irrelevant: %v\n", sol.Irrelevant)
+	return nil
+}
+
+func cmdJoinTree(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("jointree needs one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, args[0])
+	if err != nil {
+		return err
+	}
+	t, ok := gyokit.QualTree(d)
+	if !ok {
+		return fmt.Errorf("%s is a cyclic schema: no qual tree exists", d)
+	}
+	fmt.Printf("schema: %s\n", d)
+	for _, e := range t.Edges() {
+		fmt.Printf("  %s — %s\n", u.FormatSet(d.Rels[e[0]]), u.FormatSet(d.Rels[e[1]]))
+	}
+	return nil
+}
+
+func cmdLossless(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("lossless needs two schema arguments (D and D′)")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, args[0])
+	if err != nil {
+		return err
+	}
+	dp, err := parseSchema(u, args[1])
+	if err != nil {
+		return err
+	}
+	rep, err := gyokit.LosslessJoin(d, dp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("D:           %s\n", d)
+	fmt.Printf("D′:          %s\n", dp)
+	fmt.Printf("⋈D ⊨ ⋈D′:    %v\n", rep.Holds)
+	fmt.Printf("CC(D, ∪D′):  %s\n", rep.CC)
+	if rep.SubtreeApplicable {
+		fmt.Printf("subtree:     %v (Corollary 5.2)\n", rep.Subtree)
+	}
+	return nil
+}
+
+func cmdTreefy(args []string) error {
+	fs := flag.NewFlagSet("treefy", flag.ContinueOnError)
+	k := fs.Int("k", 1, "maximum number of added relations")
+	b := fs.Int("b", 0, "maximum size of each added relation (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("treefy needs one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if gyokit.IsTreeSchema(d) {
+		fmt.Printf("%s is already a tree schema\n", d)
+		return nil
+	}
+	bound := *b
+	if bound == 0 {
+		bound = d.Attrs().Card()
+	}
+	w, ok := gyokit.Treefy(d, *k, bound)
+	if !ok {
+		return fmt.Errorf("no treefication with K=%d relations of size ≤ %d (via the Theorem 4.2 component bound)", *k, bound)
+	}
+	fmt.Printf("D: %s\n", d)
+	fmt.Printf("add %d relation(s):\n", len(w))
+	for _, s := range w {
+		fmt.Printf("  %s\n", u.FormatSet(s))
+	}
+	return nil
+}
+
+func cmdWitness(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("witness needs one schema argument")
+	}
+	u := gyokit.NewUniverse()
+	d, err := parseSchema(u, args[0])
+	if err != nil {
+		return err
+	}
+	x, core, kind, found := schema.Lemma31Witness(d)
+	if !found {
+		fmt.Printf("%s is a tree schema (no Lemma 3.1 witness)\n", d)
+		return nil
+	}
+	fmt.Printf("D:       %s\n", d)
+	fmt.Printf("delete:  %s\n", u.FormatSet(x))
+	fmt.Printf("core:    %s (%s)\n", core, kind)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command gyobench regenerates every experiment in EXPERIMENTS.md: the
+// paper's figures and worked examples (asserted reproductions) plus
+// the synthetic performance tables.
+//
+// Usage:
+//
+//	gyobench              run everything
+//	gyobench -run sec6    run one experiment by id
+//	gyobench -list        list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gyokit/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gyobench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := exp.RunAll(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments passed")
+}

@@ -1,0 +1,76 @@
+// Treefication: turning cyclic schemas into tree schemas (§4). The
+// single-relation case is solved exactly by Corollary 3.2 (∪GR(D));
+// the multi-relation case is NP-complete (Theorem 4.2) via bin
+// packing, whose reduction this example demonstrates in both
+// directions.
+//
+//	go run ./examples/treefication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gyokit"
+	"gyokit/internal/gen"
+	"gyokit/internal/treefy"
+)
+
+func main() {
+	u := gyokit.NewUniverse()
+
+	// Corollary 3.2: the cheapest single treefying relation.
+	d := gyokit.MustParse(u, "ab, bc, ca, cd, de")
+	fmt.Println("D =", d)
+	fmt.Println("tree schema:", gyokit.IsTreeSchema(d))
+	tf := gyokit.TreefyingRelation(d)
+	fmt.Printf("∪GR(D) = %s — least-cardinality treefying relation (Corollary 3.2)\n", u.FormatSet(tf))
+	aug := d.WithRel(tf)
+	fmt.Printf("D ∪ (%s) tree: %v\n\n", u.FormatSet(tf), gyokit.IsTreeSchema(aug))
+
+	// Theorem 4.2: fixed treefication ↔ bin packing. Build the
+	// reduction image of a bin-packing instance and decide it.
+	bp := gen.BinPackingInstance{Sizes: []int{5, 4, 3, 3}, K: 2, B: 8}
+	fmt.Printf("bin packing: sizes=%v into K=%d bins of capacity B=%d\n", bp.Sizes, bp.K, bp.B)
+	inst, err := treefy.FromBinPacking(bp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduction image: %d Acliques, %d relations, %d attributes\n",
+		len(bp.Sizes), inst.D.Len(), inst.D.Attrs().Card())
+
+	witness, ok := treefy.Solve(inst)
+	fmt.Println("treefiable with K relations of size ≤ B:", ok)
+	if ok {
+		fmt.Println("added relations (one per bin):")
+		for _, s := range witness {
+			fmt.Printf("  %s (size %d)\n", inst.D.U.FormatSet(s), s.Card())
+		}
+		check := inst.D.Clone()
+		for _, s := range witness {
+			check.Add(s)
+		}
+		fmt.Println("verified tree schema:", gyokit.IsTreeSchema(check))
+	}
+
+	// The unsatisfiable side: shrink the bins.
+	bp2 := gen.BinPackingInstance{Sizes: []int{5, 4, 3, 3}, K: 2, B: 7}
+	inst2, err := treefy.FromBinPacking(bp2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, ok2 := treefy.Solve(inst2)
+	fmt.Printf("\nwith B=7 instead: treefiable = %v (15 units cannot fit in 2×7)\n", ok2)
+
+	// Heuristic vs exact on a larger packing.
+	sizes := []int{9, 8, 7, 6, 5, 4, 3, 3, 3, 3}
+	ffdBins, _ := treefy.FirstFitDecreasing(sizes, 12)
+	opt := 0
+	for k := 1; ; k++ {
+		if _, ok := treefy.SolveBinPacking(gen.BinPackingInstance{Sizes: sizes, K: k, B: 12}); ok {
+			opt = k
+			break
+		}
+	}
+	fmt.Printf("\nlarger packing %v, B=12: FFD uses %d bins, optimum is %d\n", sizes, ffdBins, opt)
+}

@@ -1,0 +1,194 @@
+// Package gyokit is a library of the acyclic-database theory developed
+// in Goodman, Shmueli & Tay, "GYO Reductions, Canonical Connections,
+// Tree and Cyclic Schemas, and Tree Projections" (PODS 1983; JCSS 29,
+// 1984): GYO (Graham–Yu–Ozsoyoglu) reductions, qual graphs and join
+// trees, canonical connections via tableau minimization, tree
+// projections, lossless-join tests, γ-acyclicity, and the
+// join/semijoin/project query-processing programs they analyze.
+//
+// # Quick start
+//
+//	u := gyokit.NewUniverse()
+//	d := gyokit.MustParse(u, "ab, bc, cd")       // the paper's notation
+//	cls, _ := gyokit.Classify(d)                 // tree? γ-acyclic? GR(D)?
+//	sol, _ := gyokit.SolveByJoins(d, u.Set("a", "d"))
+//
+// The facade re-exports the stable API of the internal packages:
+//
+//   - schema construction and parsing (internal/schema)
+//   - GYO reductions GR(D, X) and the Corollary 3.1/3.2 tests
+//     (internal/gyo)
+//   - qual trees and the Theorem 3.1 subtree characterization
+//     (internal/qualgraph)
+//   - tableaux and canonical connections CC(D, X) (internal/tableau)
+//   - lossless joins ⋈D ⊨ ⋈D′ (internal/lossless)
+//   - γ-acyclicity (internal/gamma)
+//   - query programs and plan builders (internal/program)
+//   - tree projections (internal/treeproj)
+//   - fixed treefication and bin packing (internal/treefy)
+//
+// All algorithms are deterministic and stdlib-only. NP-hard corners
+// (tableau minimization on cyclic schemas, tree-projection search,
+// fixed treefication) use exact exponential algorithms with documented
+// input bounds, plus the polynomial special cases the paper proves for
+// tree schemas.
+package gyokit
+
+import (
+	"math/rand"
+
+	"gyokit/internal/core"
+	"gyokit/internal/gamma"
+	"gyokit/internal/graph"
+	"gyokit/internal/gyo"
+	"gyokit/internal/lossless"
+	"gyokit/internal/program"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+	"gyokit/internal/treefy"
+	"gyokit/internal/treeproj"
+)
+
+// Core schema types (paper §2).
+type (
+	// Attr identifies an attribute within a Universe.
+	Attr = schema.Attr
+	// AttrSet is an immutable bitset of attributes.
+	AttrSet = schema.AttrSet
+	// Universe interns attribute names.
+	Universe = schema.Universe
+	// Schema is a database schema: a multiset of relation schemas.
+	Schema = schema.Schema
+)
+
+// Graph and program types.
+type (
+	// JoinTree is an undirected graph over a schema's relations; when
+	// returned by QualTree it satisfies the qual-graph property.
+	JoinTree = graph.Undirected
+	// Program is a join/semijoin/project statement sequence (§6).
+	Program = program.Program
+	// Relation is a relation state.
+	Relation = relation.Relation
+	// Database is a database state for a schema.
+	Database = relation.Database
+	// Tableau is a query tableau (§3.4).
+	Tableau = tableau.Tableau
+)
+
+// Analysis result types.
+type (
+	// Classification is the §3 status of a schema.
+	Classification = core.Classification
+	// JoinSolution is the §4 join-plan answer.
+	JoinSolution = core.JoinSolution
+	// LosslessReport is the §5 lossless-join analysis.
+	LosslessReport = core.LosslessReport
+	// ProgramAnalysis is the §6 tree-projection analysis.
+	ProgramAnalysis = core.ProgramAnalysis
+	// GYOResult is a (partial) GYO reduction outcome.
+	GYOResult = gyo.Result
+	// TPResult reports a tree-projection search.
+	TPResult = treeproj.Result
+)
+
+// NewUniverse returns an empty attribute universe.
+func NewUniverse() *Universe { return schema.NewUniverse() }
+
+// NewSchema returns a schema over u with the given relation schemas.
+func NewSchema(u *Universe, rels ...AttrSet) *Schema { return schema.New(u, rels...) }
+
+// Parse parses the paper's compact notation, e.g. "ab, bc, cd".
+func Parse(u *Universe, s string) (*Schema, error) { return schema.Parse(u, s) }
+
+// MustParse is Parse that panics on error.
+func MustParse(u *Universe, s string) *Schema { return schema.MustParse(u, s) }
+
+// Aring returns the Aring of size n (§3.1).
+func Aring(u *Universe, n int) *Schema { return schema.Aring(u, n, "") }
+
+// Aclique returns the Aclique of size n (§3.1).
+func Aclique(u *Universe, n int) *Schema { return schema.Aclique(u, n, "") }
+
+// GYOReduce computes the GYO reduction GR(D, X) with sacred set X (§3.3).
+func GYOReduce(d *Schema, x AttrSet) *GYOResult { return gyo.Reduce(d, x) }
+
+// IsTreeSchema reports whether D is a tree schema (Corollary 3.1).
+func IsTreeSchema(d *Schema) bool { return gyo.IsTree(d) }
+
+// TreefyingRelation returns ∪GR(D), the least-cardinality relation
+// whose addition makes D a tree schema (Corollary 3.2).
+func TreefyingRelation(d *Schema) AttrSet { return gyo.TreefyingRelation(d) }
+
+// QualTree returns a qual tree for D, with ok=false for cyclic schemas.
+func QualTree(d *Schema) (t *JoinTree, ok bool) { return qualgraph.QualTree(d) }
+
+// IsSubtree reports whether D′ is a subtree of tree schema D
+// (Theorem 3.1(ii)).
+func IsSubtree(d, dprime *Schema) bool { return qualgraph.IsSubtree(d, dprime) }
+
+// CC computes the canonical connection CC(D, X) (§3.4), taking the
+// Theorem 3.3(ii) GYO fast path on tree schemas.
+func CC(d *Schema, x AttrSet) *Schema { return tableau.CC(d, x) }
+
+// QueriesEquivalent decides (D, X) ≡ (D′, X) over universal databases
+// (Lemma 3.2).
+func QueriesEquivalent(d, dprime *Schema, x AttrSet) bool {
+	return tableau.QueriesEquivalent(d, dprime, x)
+}
+
+// Classify computes the full §3 classification of d.
+func Classify(d *Schema) (*Classification, error) { return core.Classify(d) }
+
+// SolveByJoins computes CC(D, X) and the Corollary 4.1 join plan.
+func SolveByJoins(d *Schema, x AttrSet) (*JoinSolution, error) { return core.SolveByJoins(d, x) }
+
+// LosslessJoin decides ⋈D ⊨ ⋈D′ (Theorem 5.1, Corollary 5.2).
+func LosslessJoin(d, dprime *Schema) (*LosslessReport, error) { return core.LosslessJoin(d, dprime) }
+
+// Implies is the bare ⋈D ⊨ ⋈D′ decision (Theorem 5.1).
+func Implies(d, dprime *Schema) bool { return lossless.Implies(d, dprime) }
+
+// IsGammaAcyclic decides γ-acyclicity with the polynomial
+// Theorem 5.3(ii) test.
+func IsGammaAcyclic(d *Schema) bool { return gamma.IsGammaAcyclic(d) }
+
+// TreePlan builds the full-reducer + Yannakakis program for (D, X) on
+// tree schemas.
+func TreePlan(d *Schema, x AttrSet) (*Program, error) { return core.TreePlan(d, x) }
+
+// Plan builds a query plan for (D, X) on any schema: Yannakakis on
+// tree schemas; on cyclic schemas the §4 strategy (materialize ∪GR(D)
+// per Corollary 3.2, then solve the resulting tree schema).
+func Plan(d *Schema, x AttrSet) (*Program, error) { return core.Plan(d, x) }
+
+// AnalyzeProgram runs the §6 tree-projection analysis of p against
+// (p.D, x) (Theorems 6.1–6.4).
+func AnalyzeProgram(p *Program, x AttrSet) (*ProgramAnalysis, error) {
+	return core.AnalyzeProgram(p, x)
+}
+
+// IsTreeProjection reports D″ ∈ TP(D′, D) (§3.2).
+func IsTreeProjection(dpp, dprime, d *Schema) bool {
+	return treeproj.IsTreeProjection(dpp, dprime, d)
+}
+
+// FindTreeProjection searches for a tree projection of D′ wrt D.
+func FindTreeProjection(dprime, d *Schema) TPResult { return treeproj.Exists(dprime, d) }
+
+// Treefy decides the fixed-treefication instance (D, K, B) via the
+// Theorem 4.2 bin-packing route and returns witness relations.
+// Exact for the theorem's Aclique family; see internal/treefy.
+func Treefy(d *Schema, k, b int) (witness []AttrSet, ok bool) {
+	return treefy.Solve(treefy.Instance{D: d, K: k, B: b})
+}
+
+// RandomURDatabase builds a universal-relation database over d with n
+// universal tuples drawn from [0, domain) per column.
+func RandomURDatabase(d *Schema, n, domain int, seed int64) *Database {
+	rng := rand.New(rand.NewSource(seed))
+	i := relation.RandomUniversal(d.U, d.Attrs(), n, domain, rng)
+	return relation.URDatabase(d, i)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+// MinimalEquivalentSubschemas returns every minimum-cardinality
+// sub-multiset D′ of D's relation schemas with (D, X) ≡ (D′, X) —
+// the setting of Theorem 5.2 and Corollary 5.3 (and of Yannakakis
+// [18], who considered D′ ⊆ D). By Theorem 4.1 the equivalence is
+// exactly CC(D, X) ≤ D′, so the search reduces to minimum set cover
+// of the CC members by relations of D, solved exactly (exponential in
+// |D|; intended for |D| ≤ 15).
+func MinimalEquivalentSubschemas(d *schema.Schema, x schema.AttrSet) ([]*schema.Schema, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if !x.SubsetOf(d.Attrs()) {
+		return nil, fmt.Errorf("core: target ⊄ U(D)")
+	}
+	if len(d.Rels) > 20 {
+		return nil, fmt.Errorf("core: MinimalEquivalentSubschemas limited to |D| ≤ 20 (got %d)", len(d.Rels))
+	}
+	cc := tableau.CC(d, x)
+	n := len(d.Rels)
+	// covers[i] = bitmask of CC members contained in relation i.
+	m := cc.Len()
+	covers := make([]uint32, n)
+	for i, r := range d.Rels {
+		for j, c := range cc.Rels {
+			if c.SubsetOf(r) {
+				covers[i] |= 1 << j
+			}
+		}
+	}
+	full := uint32(1)<<m - 1
+	var out []*schema.Schema
+	for size := 1; size <= n; size++ {
+		found := enumerateCovers(d, covers, full, size, &out)
+		if found {
+			return out, nil
+		}
+	}
+	if m == 0 {
+		// Degenerate: empty CC — no relations needed.
+		return []*schema.Schema{{U: d.U}}, nil
+	}
+	return nil, fmt.Errorf("core: internal: CC members not coverable by D")
+}
+
+// enumerateCovers appends every size-k subset of D whose relations
+// jointly cover all CC members; reports whether any was found.
+func enumerateCovers(d *schema.Schema, covers []uint32, full uint32, k int, out *[]*schema.Schema) bool {
+	n := len(d.Rels)
+	idx := make([]int, 0, k)
+	found := false
+	var rec func(start int, got uint32)
+	rec = func(start int, got uint32) {
+		if len(idx) == k {
+			if got == full {
+				*out = append(*out, d.Restrict(append([]int(nil), idx...)))
+				found = true
+			}
+			return
+		}
+		// Prune: not enough relations left.
+		if n-start < k-len(idx) {
+			return
+		}
+		for i := start; i < n; i++ {
+			idx = append(idx, i)
+			rec(i+1, got|covers[i])
+			idx = idx[:len(idx)-1]
+		}
+	}
+	rec(0, 0)
+	return found
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/lossless"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+func TestMinimalEquivalentSection6(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abg, bcg, acf, ad, de, ea")
+	x := u.Set("a", "b", "c")
+	mins, err := MinimalEquivalentSubschemas(d, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mins) == 0 {
+		t.Fatal("no minimal subschema found")
+	}
+	for _, dp := range mins {
+		if dp.Len() != 3 {
+			t.Errorf("minimal size = %d, want 3 (abg, bcg, acf)", dp.Len())
+		}
+		if !tableau.QueriesEquivalent(d, dp, x) {
+			t.Errorf("claimed minimum %s not equivalent", dp)
+		}
+	}
+}
+
+// TestTheorem52: for every minimum-cardinality D′ ⊆ D with
+// (D, X) ≡ (D′, X), CC(D, ∪D′) = D′ (up to reduction); and by
+// Corollary 5.3, ⋈D ⊨ ⋈D′.
+func TestTheorem52(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		var d *schema.Schema
+		if trial%2 == 0 {
+			d = gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		} else {
+			d = gen.TreeSchema(rng, 2+rng.Intn(4), 2, 2)
+		}
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.5)
+		if x.IsEmpty() {
+			x = schema.NewAttrSet(d.Attrs().Min())
+		}
+		mins, err := MinimalEquivalentSubschemas(d, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dp := range mins {
+			if dp.Len() == 0 {
+				continue
+			}
+			// Theorem 5.2: CC(D, ∪D′) = D′. Our D′ is a sub-multiset of
+			// D and need not be reduced when members repeat, so compare
+			// reduced forms (the theorem's D′ is minimal, hence reduced).
+			cc := tableau.CC(d, dp.Attrs())
+			if !cc.SetEqual(dp.Reduce()) {
+				t.Fatalf("Theorem 5.2 failed: D=%s X=%s D'=%s CC(D,∪D')=%s",
+					d, d.U.FormatSet(x), dp, cc)
+			}
+			// Corollary 5.3: the minimal subschema has a lossless join.
+			if !lossless.Implies(d, dp) {
+				t.Fatalf("Corollary 5.3 failed: D=%s D'=%s", d, dp)
+			}
+		}
+	}
+}
+
+// TestTheorem41Random: the three conditions of Theorem 4.1 coincide on
+// random sub-multisets: CC(D,X) ≤ D′ ⇔ (D,X) ≡ (D′,X) ⇔
+// CC(D,X) = CC(D′,X).
+func TestTheorem41Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 60; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(3), 2+rng.Intn(4), 0.5)
+		dp, _ := gen.SubSchema(rng, d)
+		x := gen.RandomAttrSubset(rng, dp.Attrs().Intersect(d.Attrs()), 0.6)
+		if x.IsEmpty() || !x.SubsetOf(dp.Attrs()) {
+			continue
+		}
+		cc := tableau.CCGeneric(d, x)
+		condI := cc.LE(dp)
+		condII := tableau.QueriesEquivalent(d, dp, x)
+		ccP := tableau.CCGeneric(dp, x)
+		condIII := cc.SetEqual(ccP)
+		if condI != condII || condII != condIII {
+			t.Fatalf("Theorem 4.1 failed on D=%s D'=%s X=%s: (i)=%v (ii)=%v (iii)=%v",
+				d, dp, d.U.FormatSet(x), condI, condII, condIII)
+		}
+	}
+}
+
+func TestMinimalEquivalentErrors(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab")
+	u.Attr("z")
+	if _, err := MinimalEquivalentSubschemas(d, u.Set("z")); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := MinimalEquivalentSubschemas(&schema.Schema{}, schema.AttrSet{}); err == nil {
+		t.Error("nil universe accepted")
+	}
+	big := gen.TreeSchema(gen.RNG(1), 25, 2, 2)
+	if _, err := MinimalEquivalentSubschemas(big, schema.NewAttrSet(big.Attrs().Min())); err == nil {
+		t.Error("oversized schema accepted")
+	}
+}

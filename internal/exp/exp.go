@@ -1,0 +1,53 @@
+// Package exp contains the executable reproductions of every figure
+// and worked example in the paper (the E-* index of DESIGN.md). Each
+// experiment prints a human-readable report and returns an error if
+// any assertion about the paper's claims fails, so the same code backs
+// both `gyobench` and the test suite.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string // e.g. "fig1"
+	Title string
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, ordered by ID registration.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment against w, stopping at the first
+// failure.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"gyokit/internal/gamma"
+	"gyokit/internal/graph"
+	"gyokit/internal/gyo"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/schema"
+	"gyokit/internal/treeproj"
+)
+
+func init() {
+	register(Experiment{ID: "fig1", Title: "Figure 1: tree vs cyclic schemas", Run: runFig1})
+	register(Experiment{ID: "fig2", Title: "Figure 2: Arings, Acliques, Lemma 3.1 witnesses", Run: runFig2})
+	register(Experiment{ID: "fig45", Title: "Figures 4–5: γ-cycle machinery of Theorem 5.3", Run: runFig45})
+	register(Experiment{ID: "fig7", Title: "Figure 7: intersection deletion cannot disconnect Arings/Acliques", Run: runFig7})
+	register(Experiment{ID: "sec32", Title: "§3.2 example: tree projection of the 8-ring", Run: runSec32})
+}
+
+// runFig1 reproduces Figure 1's classification table.
+func runFig1(w io.Writer) error {
+	cases := []struct {
+		in   string
+		tree bool
+	}{
+		{"ab, bc, cd", true},
+		{"ab, bc, ac", false},
+		{"abc, cde, ace, afe", true},
+	}
+	for _, c := range cases {
+		u := schema.NewUniverse()
+		d, err := schema.Parse(u, c.in)
+		if err != nil {
+			return err
+		}
+		got := gyo.IsTree(d)
+		kind := "cyclic"
+		if got {
+			kind = "tree"
+		}
+		fmt.Fprintf(w, "%-22s → %s", d, kind)
+		if got {
+			t, ok := qualgraph.QualTree(d)
+			if !ok {
+				return fmt.Errorf("no qual tree for tree schema %s", d)
+			}
+			fmt.Fprintf(w, " (qual tree edges %v)", t.Edges())
+		}
+		fmt.Fprintln(w)
+		if got != c.tree {
+			return fmt.Errorf("%s: classified %v, paper says %v", d, got, c.tree)
+		}
+	}
+	// The cyclic example has no qual tree at all (the triangle is its
+	// only qual graph).
+	u := schema.NewUniverse()
+	tri := schema.MustParse(u, "ab, bc, ac")
+	count := 0
+	qualgraph.EnumerateQualTrees(tri, func(*graph.Undirected) bool { count++; return true })
+	if count != 0 {
+		return fmt.Errorf("(ab, bc, ac) has %d qual trees, want 0", count)
+	}
+	fmt.Fprintf(w, "%s has no qual tree (its only qual graph is the triangle)\n", tri)
+	return nil
+}
+
+// runFig2 reproduces Figure 2: the Aring/Aclique of size 4 and the
+// Lemma 3.1 witnesses of Fig. 2c. (The two composite schemas of
+// Fig. 2c are reconstructed from the OCR-damaged figure, preserving
+// its stated reductions: deleting X = abgi exposes an Aring of size 4,
+// deleting X = efgi exposes an Aclique of size 4.)
+func runFig2(w io.Writer) error {
+	u := schema.NewUniverse()
+	ring := schema.Aring(u, 4, "")
+	clique := schema.Aclique(schema.NewUniverse(), 4, "")
+	fmt.Fprintf(w, "Aring(4)   = %s\n", ring)
+	fmt.Fprintf(w, "Aclique(4) = %s\n", clique)
+	if !schema.IsAring(ring) || !schema.IsAclique(clique) {
+		return fmt.Errorf("constructors not recognized by recognizers")
+	}
+	if gyo.IsTree(ring) || gyo.IsTree(clique) {
+		return fmt.Errorf("Arings and Acliques must be cyclic")
+	}
+
+	type c2 struct {
+		in, del, kind string
+	}
+	for _, c := range []c2{
+		{"abcd, de, gef, fci, ab, big", "abgi", "Aring"},
+		{"bcde, acdf, abdg, abci", "efgi", "Aclique"},
+	} {
+		uu := schema.NewUniverse()
+		d := schema.MustParse(uu, c.in)
+		x, _, kind, found := schema.Lemma31Witness(d)
+		if !found {
+			return fmt.Errorf("%s: no Lemma 3.1 witness (should be cyclic)", d)
+		}
+		fmt.Fprintf(w, "%s: delete X=%s → %s core %s (Lemma 3.1 search: X=%s, %s)\n",
+			d, c.del, c.kind, d.DeleteAttrs(uu.Set(splitLetters(c.del)...)).Reduce(),
+			uu.FormatSet(x), kind)
+		// The figure's own deletion must expose the stated core.
+		manual := dropEmptyRels(d.DeleteAttrs(uu.Set(splitLetters(c.del)...)).Reduce())
+		switch c.kind {
+		case "Aring":
+			if !schema.IsAring(manual) {
+				return fmt.Errorf("deleting %s did not expose an Aring: %s", c.del, manual)
+			}
+		case "Aclique":
+			if !schema.IsAclique(manual) {
+				return fmt.Errorf("deleting %s did not expose an Aclique: %s", c.del, manual)
+			}
+		}
+	}
+	return nil
+}
+
+func splitLetters(s string) []string {
+	out := make([]string, 0, len(s))
+	for _, r := range s {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func dropEmptyRels(d *schema.Schema) *schema.Schema {
+	out := &schema.Schema{U: d.U}
+	for _, r := range d.Rels {
+		if !r.IsEmpty() {
+			out.Rels = append(out.Rels, r)
+		}
+	}
+	return out
+}
+
+// runFig45 demonstrates the Theorem 5.3 γ-cycle machinery that
+// Figures 4 and 5 illustrate: a weak γ-cycle witness for a cyclic
+// schema, the failing disconnection pair of characterization (ii), and
+// the agreement of all three characterizations.
+func runFig45(w io.Writer) error {
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd, da")
+	cyc, found := gamma.FindWeakCycle(d)
+	if !found {
+		return fmt.Errorf("4-ring has no weak γ-cycle?")
+	}
+	fmt.Fprintf(w, "weak γ-cycle in %s: relations %v via attributes %v\n", d, cyc.Rels, attrNames(u, cyc.Attrs))
+	if gamma.IsGammaAcyclic(d) || gamma.IsGammaAcyclicSubtree(d) {
+		return fmt.Errorf("ring misclassified as γ-acyclic")
+	}
+	// A γ-acyclic schema for contrast: every characterization agrees.
+	e := schema.MustParse(u, "ab, bc, cd")
+	if !gamma.IsGammaAcyclic(e) || !gamma.IsGammaAcyclicCycleSearch(e) || !gamma.IsGammaAcyclicSubtree(e) {
+		return fmt.Errorf("chain misclassified")
+	}
+	fmt.Fprintf(w, "chain %s: γ-acyclic by all three characterizations\n", e)
+	// The §5.1 boundary case: tree but not γ-acyclic.
+	f := schema.MustParse(u, "abc, ab, bc")
+	if !gyo.IsTree(f) || gamma.IsGammaAcyclic(f) {
+		return fmt.Errorf("(abc, ab, bc) should be tree yet not γ-acyclic")
+	}
+	fmt.Fprintf(w, "%s: tree schema but NOT γ-acyclic (the §5.1 example)\n", f)
+	return nil
+}
+
+func attrNames(u *schema.Universe, attrs []schema.Attr) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = u.Name(a)
+	}
+	return out
+}
+
+// runFig7 reproduces Figure 7: in Arings and Acliques, deleting the
+// intersection of two intersecting relation schemas never disconnects
+// their residues — the reason cyclic schemas fail Theorem 5.3(ii).
+func runFig7(w io.Writer) error {
+	for n := 3; n <= 6; n++ {
+		for _, mk := range []struct {
+			name string
+			d    *schema.Schema
+		}{
+			{"Aring", schema.Aring(schema.NewUniverse(), n, "")},
+			{"Aclique", schema.Aclique(schema.NewUniverse(), n, "")},
+		} {
+			d := mk.d
+			violations := 0
+			pairs := 0
+			for i := 0; i < len(d.Rels); i++ {
+				for j := i + 1; j < len(d.Rels); j++ {
+					x := d.Rels[i].Intersect(d.Rels[j])
+					if x.IsEmpty() {
+						continue
+					}
+					pairs++
+					del := d.DeleteAttrs(x)
+					if !sameComponent(del, i, j) {
+						violations++
+					}
+				}
+			}
+			if violations != 0 {
+				return fmt.Errorf("%s(%d): %d/%d pairs disconnected — contradicts Fig. 7", mk.name, n, violations, pairs)
+			}
+			fmt.Fprintf(w, "%s(%d): all %d intersecting pairs stay connected after deleting R∩S\n", mk.name, n, pairs)
+		}
+	}
+	return nil
+}
+
+func sameComponent(d *schema.Schema, i, j int) bool {
+	if d.Rels[i].IsEmpty() || d.Rels[j].IsEmpty() {
+		return false
+	}
+	for _, comp := range d.Components() {
+		hasI, hasJ := false, false
+		for _, k := range comp {
+			hasI = hasI || k == i
+			hasJ = hasJ || k == j
+		}
+		if hasI && hasJ {
+			return true
+		}
+	}
+	return false
+}
+
+// runSec32 reproduces the §3.2 tree-projection example on the 8-ring.
+func runSec32(w io.Writer) error {
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd, de, ef, fg, gh, ha")
+	dpp := schema.MustParse(u, "ab, abch, cdgh, defg, ef")
+	dp := schema.MustParse(u, "abef, abch, cdgh, defg, ef")
+	fmt.Fprintf(w, "D   = %s (cyclic: %v)\n", d, !gyo.IsTree(d))
+	fmt.Fprintf(w, "D″  = %s (tree: %v)\n", dpp, gyo.IsTree(dpp))
+	fmt.Fprintf(w, "D′  = %s (cyclic: %v)\n", dp, !gyo.IsTree(dp))
+	if gyo.IsTree(d) || gyo.IsTree(dp) || !gyo.IsTree(dpp) {
+		return fmt.Errorf("classification mismatch with the paper")
+	}
+	if !treeproj.IsTreeProjection(dpp, dp, d) {
+		return fmt.Errorf("D″ ∉ TP(D′, D)")
+	}
+	res := treeproj.Exists(dp, d)
+	if !res.Found {
+		return fmt.Errorf("search failed to find any tree projection")
+	}
+	fmt.Fprintf(w, "search witness: %s (pool %d bags)\n", res.TP, res.PoolSize)
+	return nil
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/program"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+func init() {
+	register(Experiment{ID: "perf1", Title: "GYO reduction scaling (rings, cliques, random trees)", Run: runPerf1})
+	register(Experiment{ID: "perf2", Title: "CC: GYO fast path vs tableau minimization (tree schemas)", Run: runPerf2})
+	register(Experiment{ID: "perf4", Title: "Query evaluation: naive join vs CC-pruned vs Yannakakis", Run: runPerf4})
+	register(Experiment{ID: "perf5", Title: "Join-tree construction: MST vs GYO trace", Run: runPerf5})
+	register(Experiment{ID: "perf8", Title: "Cyclic strategy (§4): naive join vs treefy-then-Yannakakis", Run: runPerf8})
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// runPerf1: GYO reduction wall-clock over growing inputs. The paper's
+// claim is simply polynomial-time feasibility; the table should show
+// smooth low-order growth.
+func runPerf1(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "n", "ring", "clique", "rand tree")
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		ring := gen.Ring(n)
+		tree := gen.TreeSchema(gen.RNG(1), n, 2, 2)
+		var clique *schema.Schema
+		if n <= 64 {
+			clique = gen.Clique(n)
+		}
+		rt := timeIt(func() { gyo.ReduceFull(ring) })
+		tt := timeIt(func() { gyo.ReduceFull(tree) })
+		ct := time.Duration(0)
+		if clique != nil {
+			ct = timeIt(func() { gyo.ReduceFull(clique) })
+		}
+		// Sanity: classification must be right at every size.
+		if gyo.IsTree(ring) || !gyo.IsTree(tree) {
+			return fmt.Errorf("misclassification at n=%d", n)
+		}
+		fmt.Fprintf(w, "%-8d %12v %12v %12v\n", n, rt, ct, tt)
+	}
+	return nil
+}
+
+// runPerf2: Theorem 3.3(ii) lets CC take the GR route on tree schemas;
+// the generic route minimizes tableaux (NP-hard machinery). Both must
+// agree; the table shows the separation.
+func runPerf2(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %12s %14s\n", "n", "CC via GR", "CC via tableau")
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		d := gen.TreeSchema(gen.RNG(int64(n)), n, 2, 2)
+		x := gen.RandomAttrSubset(gen.RNG(int64(n)+100), d.Attrs(), 0.4)
+		var fast, slow *schema.Schema
+		ft := timeIt(func() { fast = tableau.CC(d, x) })
+		st := timeIt(func() { slow = tableau.CCGeneric(d, x) })
+		if !fast.SetEqual(slow) {
+			return fmt.Errorf("CC disagreement at n=%d", n)
+		}
+		fmt.Fprintf(w, "%-8d %12v %14v\n", n, ft, st)
+	}
+	return nil
+}
+
+// runPerf4: end-to-end evaluation of (D, X) over UR databases on a
+// chain schema: the naive full join, the CC-pruned join (Corollary
+// 4.1), and the Yannakakis semijoin program (§6). All three must agree
+// tuple-for-tuple; the interesting output is intermediate-result size.
+func runPerf4(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-8s %14s %14s %14s\n", "tuples", "rels", "naive(max)", "cc(max)", "yann(max)")
+	for _, tuples := range []int{50, 150, 400} {
+		n := 5
+		d := gen.Chain(n)
+		attrs := d.Attrs().Attrs()
+		// Target the front of the chain: GR(D, X) prunes the dangling
+		// tail (relations past attrs[2]), so CC pruning is visible.
+		x := schema.NewAttrSet(attrs[0], attrs[2])
+		rng := rand.New(rand.NewSource(int64(tuples)))
+		i := relation.RandomUniversal(d.U, d.Attrs(), tuples, 8, rng)
+		db := relation.URDatabase(d, i)
+
+		naive, err := program.NaivePlan(d, x)
+		if err != nil {
+			return err
+		}
+		cc := tableau.CC(d, x)
+		ccPlan, err := program.CCPlan(d, x, cc)
+		if err != nil {
+			return err
+		}
+		tr, _ := qualgraph.QualTree(d)
+		yann, err := program.Yannakakis(d, x, tr)
+		if err != nil {
+			return err
+		}
+
+		r1, s1, err := naive.Eval(db)
+		if err != nil {
+			return err
+		}
+		r2, s2, err := ccPlan.Eval(db)
+		if err != nil {
+			return err
+		}
+		r3, s3, err := yann.Eval(db)
+		if err != nil {
+			return err
+		}
+		if !r1.Equal(r2) || !r1.Equal(r3) {
+			return fmt.Errorf("plans disagree at %d tuples", tuples)
+		}
+		fmt.Fprintf(w, "%-10d %-8d %14d %14d %14d\n",
+			tuples, n, s1.MaxIntermediate, s2.MaxIntermediate, s3.MaxIntermediate)
+	}
+	fmt.Fprintln(w, "(all three plans return identical answers; Yannakakis bounds intermediates)")
+	return nil
+}
+
+// runPerf5: both join-tree constructions, cross-checked, with timing.
+func runPerf5(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "n", "MST", "GYO trace")
+	for _, n := range []int{8, 32, 128} {
+		d := gen.TreeSchema(gen.RNG(int64(n)*7), n, 2, 2)
+		mt := timeIt(func() {
+			if _, ok := qualgraph.QualTreeMST(d); !ok {
+				panic("tree schema rejected")
+			}
+		})
+		gt := timeIt(func() {
+			if _, ok := qualgraph.QualTreeGYO(d); !ok {
+				panic("tree schema rejected")
+			}
+		})
+		fmt.Fprintf(w, "%-8d %12v %12v\n", n, mt, gt)
+	}
+	return nil
+}
+
+// runPerf8: the §4 cyclic strategy end to end — on Arings, the plan
+// that materializes ∪GR(D) (Corollary 3.2) and then runs the
+// full-reducer + Yannakakis pipeline, against the naive multiway join.
+// Both must agree; the table reports intermediate sizes.
+func runPerf8(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-8s %14s %14s\n", "schema", "tuples", "naive(max)", "cyclic(max)")
+	// The naive multiway join explodes combinatorially on this family
+	// (it is the baseline being indicted), so the sweep stays small.
+	for _, n := range []int{3} {
+		for _, tuples := range []int{30, 60} {
+			// Ring core with 2-hop tails off every ring attribute: the
+			// cyclic core is a small fraction of the schema, so the §4
+			// strategy (join the core once, semijoin the rest) wins.
+			d := gen.RingWithTails(n, 2)
+			// Target: one ring attribute plus a tail-end attribute.
+			ringEdge := d.Rels[0].Attrs()
+			lastTail := d.Rels[len(d.Rels)-1].Attrs()
+			x := schema.NewAttrSet(ringEdge[0], lastTail[len(lastTail)-1])
+			i := relation.RandomUniversal(d.U, d.Attrs(), tuples, 6, rand.New(rand.NewSource(int64(n*tuples))))
+			db := relation.URDatabase(d, i)
+
+			naive, err := program.NaivePlan(d, x)
+			if err != nil {
+				return err
+			}
+			cyc, err := program.CyclicPlan(d, x)
+			if err != nil {
+				return err
+			}
+			r1, s1, err := naive.Eval(db)
+			if err != nil {
+				return err
+			}
+			r2, s2, err := cyc.Eval(db)
+			if err != nil {
+				return err
+			}
+			if !r1.Equal(r2) {
+				return fmt.Errorf("cyclic strategy disagrees with naive join on ring-with-tails(%d)", n)
+			}
+			fmt.Fprintf(w, "ring%d+t2   %-8d %14d %14d\n", n, tuples, s1.MaxIntermediate, s2.MaxIntermediate)
+		}
+	}
+	fmt.Fprintln(w, "(identical answers; the cyclic strategy pays the core join once, then semijoins)")
+	return nil
+}

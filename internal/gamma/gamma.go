@@ -1,0 +1,204 @@
+// Package gamma implements γ-acyclicity (paper §5.2): Fagin's weak
+// γ-cycles, the paper's new polynomial characterization via
+// intersection-deletion disconnection (Theorem 5.3(ii)), and the
+// subtree-closure characterization (Theorem 5.3(iii)).
+//
+// γ-acyclic schemas are exactly those for which ⋈D ⊨ ⋈D′ holds for
+// every connected D′ ⊆ D (Fagin's theorem, re-derived as Corollary 5.3).
+package gamma
+
+import (
+	"gyokit/internal/gyo"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/schema"
+)
+
+// Cycle is a weak γ-cycle (R₁, A₁, R₂, A₂, …, Rₘ, Aₘ, R₁): Rels lists
+// relation indexes, Attrs the linking attributes (Attrs[i] ∈
+// Rels[i] ∩ Rels[i+1 mod m]).
+type Cycle struct {
+	Rels  []int
+	Attrs []schema.Attr
+}
+
+// FindWeakCycle searches for a weak γ-cycle in d: m ≥ 3 distinct
+// relations R₁…Rₘ, distinct attributes Aᵢ ∈ Rᵢ ∩ Rᵢ₊₁, where A₁ occurs
+// in no relation of the cycle other than R₁ and R₂, and A₂ in none
+// other than R₂ and R₃. (The exclusivity conditions are relative to
+// the cycle's relations — the reading used by the paper's proof of
+// Theorem 5.3(ii) ⇒ (i), which derives "Aᵢ ∉ Rⱼ" only for the cycle's
+// Rⱼ. Requiring exclusivity in all of D would break the (i) ⇔ (ii)
+// equivalence, e.g. on (ab, abc, acd, ce).) The search is exponential;
+// intended for |D| ≲ 10.
+func FindWeakCycle(d *schema.Schema) (*Cycle, bool) {
+	n := len(d.Rels)
+	for r1 := 0; r1 < n; r1++ {
+		for r2 := 0; r2 < n; r2++ {
+			if r2 == r1 {
+				continue
+			}
+			var c *Cycle
+			d.Rels[r1].Intersect(d.Rels[r2]).ForEach(func(a1 schema.Attr) bool {
+				d.Rels[r2].ForEach(func(a2 schema.Attr) bool {
+					if a2 == a1 {
+						return true
+					}
+					for r3 := 0; r3 < n; r3++ {
+						if r3 == r1 || r3 == r2 {
+							continue
+						}
+						// A2 ∈ R2 ∩ R3; cycle-relative exclusivity so
+						// far: A1 ∉ R3, A2 ∉ R1.
+						if !d.Rels[r3].Has(a2) || d.Rels[r3].Has(a1) || d.Rels[r1].Has(a2) {
+							continue
+						}
+						used := map[int]bool{r1: true, r2: true, r3: true}
+						usedA := map[schema.Attr]bool{a1: true, a2: true}
+						if cyc := extend(d, r1, r3, a1, a2,
+							[]int{r1, r2, r3}, []schema.Attr{a1, a2}, used, usedA); cyc != nil {
+							c = cyc
+							return false
+						}
+					}
+					return true
+				})
+				return c == nil
+			})
+			if c != nil {
+				return c, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// extend grows the path …→last, trying to close back to start with a
+// fresh attribute, or to extend by a fresh (attribute, relation) pair.
+// Every relation added beyond R₃ must avoid a1 and a2 to preserve the
+// cycle-relative exclusivity of A₁ and A₂.
+func extend(d *schema.Schema, start, last int, a1, a2 schema.Attr, rels []int, attrs []schema.Attr, used map[int]bool, usedA map[schema.Attr]bool) *Cycle {
+	// Close the cycle: need Am ∈ R_last ∩ R_start, distinct from used attrs.
+	closing := d.Rels[last].Intersect(d.Rels[start])
+	var found *Cycle
+	closing.ForEach(func(a schema.Attr) bool {
+		if usedA[a] {
+			return true
+		}
+		found = &Cycle{
+			Rels:  append([]int(nil), rels...),
+			Attrs: append(append([]schema.Attr(nil), attrs...), a),
+		}
+		return false
+	})
+	if found != nil {
+		return found
+	}
+	// Extend: pick a fresh attribute shared with a fresh relation that
+	// contains neither A1 nor A2.
+	for next := 0; next < len(d.Rels); next++ {
+		if used[next] || d.Rels[next].Has(a1) || d.Rels[next].Has(a2) {
+			continue
+		}
+		shared := d.Rels[last].Intersect(d.Rels[next])
+		var res *Cycle
+		shared.ForEach(func(a schema.Attr) bool {
+			if usedA[a] {
+				return true
+			}
+			used[next] = true
+			usedA[a] = true
+			res = extend(d, start, next, a1, a2,
+				append(rels, next), append(attrs, a), used, usedA)
+			delete(used, next)
+			delete(usedA, a)
+			return res == nil
+		})
+		if res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// IsGammaAcyclicCycleSearch decides γ-acyclicity by weak-γ-cycle
+// search (Fagin's definition (i) of Theorem 5.3). Exponential.
+func IsGammaAcyclicCycleSearch(d *schema.Schema) bool {
+	_, found := FindWeakCycle(d)
+	return !found
+}
+
+// IsGammaAcyclic decides γ-acyclicity with the paper's polynomial
+// characterization, Theorem 5.3(ii): for every pair R₁, R₂ ∈ D with
+// R₁ ∩ R₂ ≠ ∅, deleting the attributes R₁ ∩ R₂ from every relation
+// schema must disconnect R₁ − X from R₂ − X. O(|D|³·|U|) overall.
+func IsGammaAcyclic(d *schema.Schema) bool {
+	n := len(d.Rels)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := d.Rels[i].Intersect(d.Rels[j])
+			if x.IsEmpty() {
+				continue
+			}
+			if connectedAfterDeletion(d, i, j, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// connectedAfterDeletion reports whether relations i and j remain
+// connected in (R − X | R ∈ D). Empty residues are never connected.
+func connectedAfterDeletion(d *schema.Schema, i, j int, x schema.AttrSet) bool {
+	e := d.DeleteAttrs(x)
+	if e.Rels[i].IsEmpty() || e.Rels[j].IsEmpty() {
+		return false
+	}
+	if i == j {
+		return true
+	}
+	for _, comp := range e.Components() {
+		hasI, hasJ := false, false
+		for _, k := range comp {
+			if k == i {
+				hasI = true
+			}
+			if k == j {
+				hasJ = true
+			}
+		}
+		if hasI && hasJ {
+			return true
+		}
+		if hasI || hasJ {
+			return false
+		}
+	}
+	return false
+}
+
+// IsGammaAcyclicSubtree decides γ-acyclicity via Theorem 5.3(iii): D is
+// a tree schema and every connected D′ ⊆ D is a subtree of D. The
+// connected-subset enumeration is exponential; intended for |D| ≲ 15.
+func IsGammaAcyclicSubtree(d *schema.Schema) bool {
+	if !gyo.IsTree(d) {
+		return false
+	}
+	n := len(d.Rels)
+	for mask := 1; mask < 1<<n; mask++ {
+		var idx []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				idx = append(idx, i)
+			}
+		}
+		sub := d.Restrict(idx)
+		if !sub.Connected() {
+			continue
+		}
+		if !qualgraph.IsSubtree(d, sub) {
+			return false
+		}
+	}
+	return true
+}

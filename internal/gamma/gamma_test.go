@@ -1,0 +1,239 @@
+package gamma
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/lossless"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBasicExamples(t *testing.T) {
+	u := schema.NewUniverse()
+	cases := []struct {
+		s     string
+		gamma bool
+	}{
+		{"ab, bc, cd", true},          // chain
+		{"ab, ac, ad", true},          // star
+		{"abc", true},                 // single relation
+		{"ab, cd", true},              // disconnected
+		{"ab, bc, ac", false},         // triangle (cyclic ⇒ not γ-acyclic)
+		{"abc, ab, bc", false},        // the §5.1 example: α-acyclic but NOT γ-acyclic
+		{"abc, cde, ace, afe", false}, /* tree schema, but ace–cde–abc has a weak γ-cycle? checked below */
+	}
+	for _, c := range cases {
+		d := parse(t, u, c.s)
+		if got := IsGammaAcyclic(d); got != c.gamma {
+			t.Errorf("IsGammaAcyclic(%s) = %v, want %v", c.s, got, c.gamma)
+		}
+	}
+}
+
+// TestSection51ExampleIsAlphaNotGamma: the paper's example
+// D = (abc, ab, bc) is a tree (α-acyclic) schema that is not γ-acyclic:
+// the connected D′ = (ab, bc) is not a subtree (Theorem 5.3(iii) fails).
+func TestSection51ExampleIsAlphaNotGamma(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	if !gyo.IsTree(d) {
+		t.Fatal("(abc, ab, bc) should be a tree schema")
+	}
+	if IsGammaAcyclic(d) {
+		t.Error("(abc, ab, bc) should not be γ-acyclic")
+	}
+	if IsGammaAcyclicSubtree(d) {
+		t.Error("subtree-closure route should also reject it")
+	}
+}
+
+// TestCharacterizationsAgree: Theorem 5.3's three characterizations
+// (weak-γ-cycle freedom, intersection-deletion disconnection, subtree
+// closure) agree on random schemas.
+func TestCharacterizationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		var d *schema.Schema
+		switch trial % 3 {
+		case 0:
+			d = gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		case 1:
+			d = gen.TreeSchema(rng, 2+rng.Intn(4), 2, 2)
+		default:
+			d = gen.RandomSchema(rng, 2+rng.Intn(3), 3+rng.Intn(3), 0.3)
+		}
+		a := IsGammaAcyclic(d)
+		b := IsGammaAcyclicCycleSearch(d)
+		c := IsGammaAcyclicSubtree(d)
+		if a != b || b != c {
+			cyc, _ := FindWeakCycle(d)
+			t.Fatalf("characterizations disagree on %s: deletion=%v cycle-search=%v subtree=%v (cycle=%v)",
+				d, a, b, c, cyc)
+		}
+	}
+}
+
+// TestGammaImpliesAlpha: γ-acyclic ⇒ tree schema (Theorem 5.3(iii)).
+func TestGammaImpliesAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 100; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		if IsGammaAcyclic(d) && !gyo.IsTree(d) {
+			t.Fatalf("γ-acyclic cyclic schema?! %s", d)
+		}
+	}
+}
+
+func TestWeakCycleWitnessIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	found := 0
+	for trial := 0; trial < 200 && found < 40; trial++ {
+		d := gen.RandomSchema(rng, 3+rng.Intn(3), 3+rng.Intn(3), 0.4)
+		cyc, ok := FindWeakCycle(d)
+		if !ok {
+			continue
+		}
+		found++
+		m := len(cyc.Rels)
+		if m < 3 || len(cyc.Attrs) != m {
+			t.Fatalf("malformed cycle %v for %s", cyc, d)
+		}
+		seenR := map[int]bool{}
+		seenA := map[schema.Attr]bool{}
+		for i := 0; i < m; i++ {
+			if seenR[cyc.Rels[i]] || seenA[cyc.Attrs[i]] {
+				t.Fatalf("repeated relation or attribute in cycle %v", cyc)
+			}
+			seenR[cyc.Rels[i]] = true
+			seenA[cyc.Attrs[i]] = true
+			ri, rj := cyc.Rels[i], cyc.Rels[(i+1)%m]
+			if !d.Rels[ri].Has(cyc.Attrs[i]) || !d.Rels[rj].Has(cyc.Attrs[i]) {
+				t.Fatalf("attr %d not shared by consecutive relations in %v", cyc.Attrs[i], cyc)
+			}
+		}
+		// Cycle-relative exclusivity of A1 (only in R1, R2) and A2
+		// (only in R2, R3).
+		for i := 2; i < m; i++ {
+			if d.Rels[cyc.Rels[i]].Has(cyc.Attrs[0]) {
+				t.Fatalf("A1 leaks into cycle relation %d: %v on %s", cyc.Rels[i], cyc, d)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if i == 1 || i == 2 {
+				continue
+			}
+			if d.Rels[cyc.Rels[i]].Has(cyc.Attrs[1]) {
+				t.Fatalf("A2 leaks into cycle relation %d: %v on %s", cyc.Rels[i], cyc, d)
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("too few cycles exercised: %d", found)
+	}
+}
+
+// TestCorollary53 verifies the Corollary 5.3 equivalences on small
+// schemas: γ-acyclic ⇔ ∀ connected D′ ⊆ D: GR(D,∪D′) ⊆ D′
+// ⇔ ∀ connected D′ ⊆ D: CC(D,∪D′) ≤ D′ ⇔ ∀ connected D′ ⊆ D: ⋈D ⊨ ⋈D′.
+func TestCorollary53(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 60; trial++ {
+		var d *schema.Schema
+		if trial%2 == 0 {
+			d = gen.RandomSchema(rng, 2+rng.Intn(3), 2+rng.Intn(4), 0.5)
+		} else {
+			d = gen.TreeSchema(rng, 2+rng.Intn(3), 2, 2)
+		}
+		n := len(d.Rels)
+		gammaAc := IsGammaAcyclic(d)
+		grAll, ccAll, jdAll := true, true, true
+		for mask := 1; mask < 1<<n; mask++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					idx = append(idx, i)
+				}
+			}
+			sub := d.Restrict(idx)
+			if !sub.Connected() {
+				continue
+			}
+			x := sub.Attrs()
+			gr := gyo.Reduce(d, x).GR
+			okGR := true
+			for _, r := range gr.Rels {
+				if !sub.Contains(r) {
+					okGR = false
+					break
+				}
+			}
+			if !okGR {
+				grAll = false
+			}
+			if !tableau.CC(d, x).LE(sub) {
+				ccAll = false
+			}
+			if !lossless.Implies(d, sub) {
+				jdAll = false
+			}
+		}
+		if gammaAc != grAll || gammaAc != ccAll || gammaAc != jdAll {
+			t.Fatalf("Corollary 5.3 failed on %s: γ=%v GR=%v CC=%v JD=%v",
+				d, gammaAc, grAll, ccAll, jdAll)
+		}
+	}
+}
+
+// TestFig7Phenomenon: in Arings and Acliques, deleting R ∩ S never
+// disconnects R − X from S − X (Figure 7's point), so Theorem 5.3(ii)
+// correctly classifies them as not γ-acyclic.
+func TestFig7Phenomenon(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		ring := gen.Ring(n)
+		if IsGammaAcyclic(ring) {
+			t.Errorf("Aring(%d) claimed γ-acyclic", n)
+		}
+		clique := gen.Clique(n)
+		if IsGammaAcyclic(clique) {
+			t.Errorf("Aclique(%d) claimed γ-acyclic", n)
+		}
+	}
+	// Spot-check the disconnection predicate itself on the 4-ring:
+	// R=ab, S=bc share b; after deleting b the residues a and c are
+	// still connected through da and cd.
+	d := gen.Ring(4)
+	x := d.Rels[0].Intersect(d.Rels[1])
+	if x.IsEmpty() {
+		t.Fatal("adjacent ring relations should intersect")
+	}
+	if !connectedAfterDeletion(d, 0, 1, x) {
+		t.Error("ring residues should remain connected (Fig. 7)")
+	}
+}
+
+func TestConnectedAfterDeletionEdgeCases(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, abc")
+	// R0 ⊆ R1: residue of R0 is empty → never connected.
+	x := d.Rels[0].Intersect(d.Rels[1])
+	if connectedAfterDeletion(d, 0, 1, x) {
+		t.Error("empty residue should disconnect")
+	}
+	// Same relation twice: connected to itself when residue nonempty.
+	d2 := parse(t, u, "ab, ab")
+	if !connectedAfterDeletion(d2, 0, 0, schema.AttrSet{}) {
+		t.Error("a relation with nonempty residue is connected to itself")
+	}
+}

@@ -1,0 +1,307 @@
+// Package gyo implements the GYO (Graham–Yu–Ozsoyoglu) reduction of the
+// paper's Section 3.3: repeatedly (1) delete an attribute A ∉ X that
+// occurs in exactly one relation schema ("isolated attribute deletion"
+// with the sacred set X) and (2) eliminate a relation schema contained
+// in another ("subset elimination"), until neither applies.
+//
+// The fixpoint GR(D, X) is unique and reduced (Maier–Ullman); Reduce
+// computes it and records a replayable Trace. State exposes single-step
+// reduction so tests can exercise arbitrary partial reductions pGR(D, X)
+// and verify confluence.
+package gyo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gyokit/internal/schema"
+)
+
+// OpKind distinguishes the two GYO operations.
+type OpKind int
+
+const (
+	// AttrDelete is operation (1): delete attribute Attr from relation Rel,
+	// legal when Attr ∉ X and Rel is the only relation containing Attr.
+	AttrDelete OpKind = iota
+	// SubsetEliminate is operation (2): delete relation Rel, legal when
+	// its current schema is a subset of relation Into's current schema.
+	SubsetEliminate
+)
+
+// Op is a single GYO operation. Rel and Into are indexes into the
+// original schema D (stable across the whole reduction).
+type Op struct {
+	Kind OpKind
+	Rel  int
+	Attr schema.Attr // meaningful for AttrDelete
+	Into int         // meaningful for SubsetEliminate
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case AttrDelete:
+		return fmt.Sprintf("delete attr %d from R%d", o.Attr, o.Rel)
+	case SubsetEliminate:
+		return fmt.Sprintf("eliminate R%d ⊆ R%d", o.Rel, o.Into)
+	default:
+		return "invalid op"
+	}
+}
+
+// Result is a (possibly partial) GYO reduction outcome.
+type Result struct {
+	Input *schema.Schema // the original D
+	X     schema.AttrSet // the sacred attribute set
+	GR    *schema.Schema // surviving relation schemas (reduced sets), in original order
+	Alive []int          // original indexes of the surviving relation schemas
+	Trace []Op           // the operations applied, in order
+}
+
+// Empty reports the paper's "GR(D) = ∅" convention: every surviving
+// relation schema is empty (after full reduction at most one empty
+// schema survives). For X = ∅ this is exactly the Corollary 3.1 tree
+// test.
+func (r *Result) Empty() bool {
+	for _, rel := range r.GR.Rels {
+		if !rel.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce computes the full GYO reduction GR(D, X).
+func Reduce(d *schema.Schema, x schema.AttrSet) *Result {
+	st := NewState(d, x)
+	st.Run()
+	return st.Result()
+}
+
+// ReduceFull computes GR(D) = GR(D, ∅).
+func ReduceFull(d *schema.Schema) *Result {
+	return Reduce(d, schema.AttrSet{})
+}
+
+// IsTree reports whether D is a tree schema, via Corollary 3.1:
+// D is a tree schema iff GR(D) = ∅.
+func IsTree(d *schema.Schema) bool {
+	return ReduceFull(d).Empty()
+}
+
+// TreefyingRelation returns ∪(GR(D)), the relation schema of least
+// cardinality whose addition turns D into a tree schema (Corollary 3.2).
+// For a tree schema it returns the empty set.
+func TreefyingRelation(d *schema.Schema) schema.AttrSet {
+	return ReduceFull(d).GR.Attrs()
+}
+
+// State is a mutable partial-reduction state over a fixed input D and
+// sacred set X. The zero value is not usable; construct with NewState.
+type State struct {
+	input *schema.Schema
+	x     schema.AttrSet
+	rels  []schema.AttrSet // current contents, indexed like input
+	alive []bool
+	occ   []int // occ[a] = number of alive relations containing a
+	trace []Op
+}
+
+// NewState returns a fresh reduction state for (d, x).
+func NewState(d *schema.Schema, x schema.AttrSet) *State {
+	st := &State{
+		input: d,
+		x:     x.Clone(),
+		rels:  make([]schema.AttrSet, len(d.Rels)),
+		alive: make([]bool, len(d.Rels)),
+		occ:   make([]int, d.U.Size()),
+	}
+	for i, r := range d.Rels {
+		st.rels[i] = r.Clone()
+		st.alive[i] = true
+		r.ForEach(func(a schema.Attr) bool {
+			st.occ[a]++
+			return true
+		})
+	}
+	return st
+}
+
+// Rel returns the current contents of relation i (empty if eliminated).
+func (st *State) Rel(i int) schema.AttrSet {
+	if !st.alive[i] {
+		return schema.AttrSet{}
+	}
+	return st.rels[i].Clone()
+}
+
+// AliveCount returns the number of surviving relation schemas.
+func (st *State) AliveCount() int {
+	n := 0
+	for _, a := range st.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplicableOps returns every currently legal GYO operation, in a
+// deterministic order.
+func (st *State) ApplicableOps() []Op {
+	var ops []Op
+	for i, r := range st.rels {
+		if !st.alive[i] {
+			continue
+		}
+		r.ForEach(func(a schema.Attr) bool {
+			if st.occ[a] == 1 && !st.x.Has(a) {
+				ops = append(ops, Op{Kind: AttrDelete, Rel: i, Attr: a})
+			}
+			return true
+		})
+	}
+	for i := range st.rels {
+		if !st.alive[i] {
+			continue
+		}
+		for j := range st.rels {
+			if i == j || !st.alive[j] {
+				continue
+			}
+			if st.rels[i].SubsetOf(st.rels[j]) {
+				ops = append(ops, Op{Kind: SubsetEliminate, Rel: i, Into: j})
+			}
+		}
+	}
+	return ops
+}
+
+// Apply performs one operation, validating legality.
+func (st *State) Apply(op Op) error {
+	switch op.Kind {
+	case AttrDelete:
+		if op.Rel < 0 || op.Rel >= len(st.rels) || !st.alive[op.Rel] {
+			return fmt.Errorf("gyo: attr delete on dead relation R%d", op.Rel)
+		}
+		if !st.rels[op.Rel].Has(op.Attr) {
+			return fmt.Errorf("gyo: R%d does not contain attribute %d", op.Rel, op.Attr)
+		}
+		if st.x.Has(op.Attr) {
+			return fmt.Errorf("gyo: attribute %d is sacred", op.Attr)
+		}
+		if st.occ[op.Attr] != 1 {
+			return fmt.Errorf("gyo: attribute %d occurs in %d relations", op.Attr, st.occ[op.Attr])
+		}
+		st.rels[op.Rel] = st.rels[op.Rel].Remove(op.Attr)
+		st.occ[op.Attr] = 0
+	case SubsetEliminate:
+		if op.Rel < 0 || op.Rel >= len(st.rels) || !st.alive[op.Rel] {
+			return fmt.Errorf("gyo: subset elimination of dead relation R%d", op.Rel)
+		}
+		if op.Into < 0 || op.Into >= len(st.rels) || !st.alive[op.Into] || op.Into == op.Rel {
+			return fmt.Errorf("gyo: invalid superset R%d", op.Into)
+		}
+		if !st.rels[op.Rel].SubsetOf(st.rels[op.Into]) {
+			return fmt.Errorf("gyo: R%d ⊄ R%d", op.Rel, op.Into)
+		}
+		st.alive[op.Rel] = false
+		st.rels[op.Rel].ForEach(func(a schema.Attr) bool {
+			st.occ[a]--
+			return true
+		})
+	default:
+		return fmt.Errorf("gyo: unknown op kind %d", op.Kind)
+	}
+	st.trace = append(st.trace, op)
+	return nil
+}
+
+// Run applies operations until none is applicable, using a deterministic
+// strategy: exhaust attribute deletions, then perform one round of
+// subset eliminations, and repeat. Confluence (Maier–Ullman uniqueness)
+// guarantees the fixpoint is strategy-independent.
+func (st *State) Run() {
+	for {
+		progress := false
+		// Exhaust attribute deletions: cheap via occurrence counts.
+		for i, r := range st.rels {
+			if !st.alive[i] {
+				continue
+			}
+			var doomed []schema.Attr
+			r.ForEach(func(a schema.Attr) bool {
+				if st.occ[a] == 1 && !st.x.Has(a) {
+					doomed = append(doomed, a)
+				}
+				return true
+			})
+			for _, a := range doomed {
+				if err := st.Apply(Op{Kind: AttrDelete, Rel: i, Attr: a}); err != nil {
+					panic("gyo: internal: " + err.Error())
+				}
+				progress = true
+			}
+		}
+		// One round of subset eliminations.
+		for i := range st.rels {
+			if !st.alive[i] {
+				continue
+			}
+			for j := range st.rels {
+				if i == j || !st.alive[j] || !st.alive[i] {
+					continue
+				}
+				if st.rels[i].SubsetOf(st.rels[j]) {
+					if err := st.Apply(Op{Kind: SubsetEliminate, Rel: i, Into: j}); err != nil {
+						panic("gyo: internal: " + err.Error())
+					}
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// RunRandom applies up to maxSteps random applicable operations using
+// rng, stopping early at a fixpoint. With maxSteps < 0 it runs to the
+// fixpoint. Used to exercise partial reductions and confluence.
+func (st *State) RunRandom(rng *rand.Rand, maxSteps int) {
+	for steps := 0; maxSteps < 0 || steps < maxSteps; steps++ {
+		ops := st.ApplicableOps()
+		if len(ops) == 0 {
+			return
+		}
+		op := ops[rng.Intn(len(ops))]
+		if err := st.Apply(op); err != nil {
+			panic("gyo: internal: " + err.Error())
+		}
+	}
+}
+
+// Result snapshots the current state as a Result. The GR schema lists
+// surviving relations in original order with their current contents.
+func (st *State) Result() *Result {
+	out := &Result{
+		Input: st.input,
+		X:     st.x.Clone(),
+		GR:    &schema.Schema{U: st.input.U},
+		Trace: append([]Op(nil), st.trace...),
+	}
+	for i, r := range st.rels {
+		if st.alive[i] {
+			out.GR.Rels = append(out.GR.Rels, r.Clone())
+			out.Alive = append(out.Alive, i)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the current schema of surviving relations.
+func (st *State) Snapshot() *schema.Schema {
+	return st.Result().GR
+}

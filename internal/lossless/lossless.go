@@ -1,0 +1,149 @@
+// Package lossless decides join-dependency implication ⋈D ⊨ ⋈D′ for
+// universal-relation databases (paper §5.1): via canonical connections
+// (Theorem 5.1), via tableau equivalence (Corollary 5.1), and — for
+// tree schemas — via the subtree characterization (Corollary 5.2). It
+// also provides a randomized semantic falsifier and the UJR ("ultra
+// join reduced") property check discussed at the end of §5.1.
+package lossless
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gyokit/internal/graph"
+	"gyokit/internal/gyo"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+// Implies decides ⋈D ⊨ ⋈D′ via Theorem 5.1: CC(D, ∪D′) ≤ D′.
+// It requires D′ ≤ D (each relation schema of D′ contained in one of
+// D), the setting in which the theorem is stated.
+func Implies(d, dprime *schema.Schema) bool {
+	requireLE(d, dprime)
+	x := dprime.Attrs()
+	cc := tableau.CC(d, x)
+	return cc.LE(dprime)
+}
+
+// ImpliesTableau decides ⋈D ⊨ ⋈D′ via the equivalence
+// (D, ∪D′) ≡ (D′, ∪D′) of the Theorem 5.1 proof, checked directly with
+// tableau containment mappings (Corollary 5.1 route).
+func ImpliesTableau(d, dprime *schema.Schema) bool {
+	requireLE(d, dprime)
+	x := dprime.Attrs()
+	return tableau.QueriesEquivalent(d, dprime, x)
+}
+
+// ImpliesSubtree decides ⋈D ⊨ ⋈D′ for tree schemas via Corollary 5.2:
+// it holds iff D′ is a subtree of D. applicable is false when D is
+// cyclic or D′ is not a sub-multiset of D (the corollary's setting).
+func ImpliesSubtree(d, dprime *schema.Schema) (holds, applicable bool) {
+	if !gyo.IsTree(d) || !dprime.SubmultisetOf(d) {
+		return false, false
+	}
+	return qualgraph.IsSubtree(d, dprime), true
+}
+
+func requireLE(d, dprime *schema.Schema) {
+	if !dprime.LE(d) {
+		panic(fmt.Sprintf("lossless: D′ = %s ⊀ D = %s", dprime, d))
+	}
+}
+
+// Falsify searches for a semantic counterexample to ⋈D ⊨ ⋈D′: a
+// universal relation J satisfying ⋈D but violating ⋈D′. It tries
+// `trials` random universal relations I (closing each under ⋈D by
+// taking J = ⋈_{R∈D} π_R(I)). A returned witness is definitive; failure
+// to find one proves nothing.
+func Falsify(d, dprime *schema.Schema, rng *rand.Rand, trials, tuples, domain int) (*relation.Relation, bool) {
+	for k := 0; k < trials; k++ {
+		i := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
+		db := relation.URDatabase(d, i)
+		j := relation.JoinAll(db.Rels)
+		if !relation.SatisfiesJD(j, d) {
+			panic("lossless: internal: ⋈ of projections must satisfy ⋈D")
+		}
+		if !relation.SatisfiesJD(j, dprime) {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// MinimumQualGraphs enumerates all qual graphs for d with the minimum
+// number of edges (the graphs quantified over by the UJR property).
+// Exponential in |D|²; intended for |D| ≤ 5.
+func MinimumQualGraphs(d *schema.Schema) []*graph.Undirected {
+	n := len(d.Rels)
+	if n > 6 {
+		panic("lossless: MinimumQualGraphs limited to |D| ≤ 6")
+	}
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	var best []*graph.Undirected
+	bestEdges := -1
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.NewUndirected(n)
+		edges := 0
+		for b, p := range pairs {
+			if mask&(1<<b) != 0 {
+				g.MustAddEdge(p[0], p[1])
+				edges++
+			}
+		}
+		if bestEdges >= 0 && edges > bestEdges {
+			continue
+		}
+		if !qualgraph.IsQualGraph(d, g) {
+			continue
+		}
+		if bestEdges < 0 || edges < bestEdges {
+			bestEdges = edges
+			best = best[:0]
+		}
+		best = append(best, g)
+	}
+	return best
+}
+
+// IsUJR reports whether the UR database db is ultra join reduced: for
+// every minimum-size qual graph G for D and every connected subgraph of
+// G on nodes S, ⋈_{i∈S} Rᵢ = π_{U(S)}(⋈ᵢ Rᵢ). For tree schemas this
+// always holds on UR databases; for every cyclic schema some UR
+// database violates it ([11], discussed in §5.1).
+func IsUJR(db *relation.Database) bool {
+	d := db.D
+	n := len(d.Rels)
+	full := relation.JoinAll(db.Rels)
+	for _, g := range MinimumQualGraphs(d) {
+		for mask := 1; mask < 1<<n; mask++ {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					idx = append(idx, i)
+				}
+			}
+			in := func(v int) bool { return mask&(1<<v) != 0 }
+			if !g.ConnectedOn(in) {
+				continue
+			}
+			var attrs schema.AttrSet
+			rels := make([]*relation.Relation, 0, len(idx))
+			for _, i := range idx {
+				attrs = attrs.Union(d.Rels[i])
+				rels = append(rels, db.Rels[i])
+			}
+			if !relation.JoinAll(rels).Equal(full.Project(attrs)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package lossless
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSection51Counterexample: D = (abc, ab, bc), D′ = (ab, bc):
+// ⋈D ⊭ ⋈D′ and D′ is not a subtree of D.
+func TestSection51Counterexample(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	dp := parse(t, u, "ab, bc")
+	if Implies(d, dp) {
+		t.Error("Theorem 5.1 route: ⋈D ⊨ ⋈D′ should fail")
+	}
+	if ImpliesTableau(d, dp) {
+		t.Error("tableau route: ⋈D ⊨ ⋈D′ should fail")
+	}
+	if holds, applicable := ImpliesSubtree(d, dp); !applicable || holds {
+		t.Error("subtree route: should be applicable and false")
+	}
+	// And a concrete semantic witness exists.
+	if _, found := Falsify(d, dp, rand.New(rand.NewSource(1)), 50, 6, 2); !found {
+		t.Error("no semantic counterexample found (expected one)")
+	}
+}
+
+func TestPositiveCases(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	// (abc, ab) is a subtree; the implication holds.
+	dp := parse(t, u, "abc, ab")
+	if !Implies(d, dp) || !ImpliesTableau(d, dp) {
+		t.Error("⋈D ⊨ ⋈(abc, ab) should hold")
+	}
+	if holds, applicable := ImpliesSubtree(d, dp); !applicable || !holds {
+		t.Error("subtree route should confirm")
+	}
+	// Trivially, ⋈D ⊨ ⋈D.
+	if !Implies(d, d) {
+		t.Error("⋈D ⊨ ⋈D should hold")
+	}
+	// No semantic counterexample should exist.
+	if w, found := Falsify(d, dp, rand.New(rand.NewSource(2)), 60, 6, 2); found {
+		t.Errorf("spurious counterexample: %s", w)
+	}
+}
+
+func TestImpliesPanicsWithoutLE(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	dp := parse(t, u, "cd")
+	defer func() {
+		if recover() == nil {
+			t.Error("D′ ⊀ D should panic")
+		}
+	}()
+	Implies(d, dp)
+}
+
+// TestRoutesAgreeRandom: the CC route and tableau route must agree on
+// random schemas, and on tree schemas the subtree route must agree too.
+func TestRoutesAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 80; trial++ {
+		var d *schema.Schema
+		if trial%2 == 0 {
+			d = gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		} else {
+			d = gen.TreeSchema(rng, 2+rng.Intn(4), 2, 2)
+		}
+		dp, _ := gen.SubSchema(rng, d)
+		a := Implies(d, dp)
+		b := ImpliesTableau(d, dp)
+		if a != b {
+			t.Fatalf("CC route %v ≠ tableau route %v for D=%s D'=%s", a, b, d, dp)
+		}
+		if holds, applicable := ImpliesSubtree(d, dp); applicable && holds != a {
+			t.Fatalf("subtree route %v ≠ CC route %v for tree D=%s D'=%s", holds, a, d, dp)
+		}
+	}
+}
+
+// TestSemanticSoundness: whenever Implies says yes, no random universal
+// relation may violate it; whenever the falsifier finds a witness,
+// Implies must say no.
+func TestSemanticSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 40; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(3), 2+rng.Intn(3), 0.6)
+		dp, _ := gen.SubSchema(rng, d)
+		holds := Implies(d, dp)
+		witness, found := Falsify(d, dp, rng, 25, 5, 2)
+		if holds && found {
+			t.Fatalf("⊨ claimed but witness found: D=%s D'=%s J=%s", d, dp, witness)
+		}
+	}
+}
+
+// TestCorollary52 on random tree schemas: ⋈D ⊨ ⋈D′ iff D′ is a subtree.
+func TestCorollary52(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		d := gen.TreeSchema(rng, 2+rng.Intn(4), 2, 2)
+		dp, _ := gen.SubSchema(rng, d)
+		holds, applicable := ImpliesSubtree(d, dp)
+		if !applicable {
+			t.Fatal("should be applicable for tree schemas and sub-multisets")
+		}
+		if holds != Implies(d, dp) {
+			t.Fatalf("Corollary 5.2 failed: D=%s D'=%s", d, dp)
+		}
+	}
+}
+
+func TestMinimumQualGraphs(t *testing.T) {
+	u := schema.NewUniverse()
+	// Chain: minimum qual graphs are exactly its qual trees (2 edges).
+	chain := parse(t, u, "ab, bc, cd")
+	gs := MinimumQualGraphs(chain)
+	if len(gs) == 0 {
+		t.Fatal("no minimum qual graphs for a tree schema")
+	}
+	for _, g := range gs {
+		if g.EdgeCount() != 2 {
+			t.Errorf("chain min qual graph has %d edges", g.EdgeCount())
+		}
+		if !g.IsTree() {
+			t.Error("chain min qual graph should be a tree")
+		}
+	}
+	// Triangle: the only qual graph is the triangle itself (3 edges).
+	tri := parse(t, u, "ab, bc, ac")
+	gs2 := MinimumQualGraphs(tri)
+	if len(gs2) != 1 || gs2[0].EdgeCount() != 3 {
+		t.Errorf("triangle min qual graphs wrong: %d graphs", len(gs2))
+	}
+}
+
+// TestUJRTreeSchemas: every UR database over a tree schema is UJR ([11]).
+func TestUJRTreeSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 15; trial++ {
+		d := gen.TreeSchema(rng, 2+rng.Intn(3), 2, 2)
+		i := relation.RandomUniversal(d.U, d.Attrs(), 12, 3, rng)
+		db := relation.URDatabase(d, i)
+		if !IsUJR(db) {
+			t.Fatalf("UR database over tree schema %s not UJR", d)
+		}
+	}
+}
+
+// TestUJRCyclicCounterexample: for the Aring of size 3, some UR
+// database is not UJR ([11]: for every cyclic schema such a database
+// exists).
+func TestUJRCyclicCounterexample(t *testing.T) {
+	d := gen.Ring(3)
+	if gyo.IsTree(d) {
+		t.Fatal("ring should be cyclic")
+	}
+	rng := rand.New(rand.NewSource(5))
+	found := false
+	for trial := 0; trial < 60 && !found; trial++ {
+		i := relation.RandomUniversal(d.U, d.Attrs(), 6, 2, rng)
+		db := relation.URDatabase(d, i)
+		if !IsUJR(db) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no UJR-violating UR database found for the triangle")
+	}
+}

@@ -1,0 +1,348 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/graph"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/tableau"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func urdb(d *schema.Schema, seed int64, tuples, domain int) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	i := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
+	return relation.URDatabase(d, i)
+}
+
+func TestSchemaOfAndSchemaMap(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	p := NewProgram(d)
+	p.Stmts = append(p.Stmts,
+		Stmt{Kind: Join, Left: 0, Right: 1},                 // id 2: abc
+		Stmt{Kind: Project, Left: 2, Proj: u.Set("a", "c")}, // id 3: ac
+		Stmt{Kind: Semijoin, Left: 0, Right: 3},             // id 4: ab
+	)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SchemaOf(2); !got.Equal(u.Set("a", "b", "c")) {
+		t.Errorf("join schema = %s", u.FormatSet(got))
+	}
+	if got := p.SchemaOf(3); !got.Equal(u.Set("a", "c")) {
+		t.Errorf("project schema = %s", u.FormatSet(got))
+	}
+	if got := p.SchemaOf(4); !got.Equal(u.Set("a", "b")) {
+		t.Errorf("semijoin schema = %s", u.FormatSet(got))
+	}
+	pd := p.SchemaMap()
+	if pd.Len() != 5 {
+		t.Errorf("P(D) has %d members", pd.Len())
+	}
+	if p.ResultID() != 4 {
+		t.Errorf("ResultID = %d", p.ResultID())
+	}
+	if NewProgram(d).ResultID() != -1 {
+		t.Error("empty program should have ResultID -1")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	bad := []Program{
+		{D: d, Stmts: []Stmt{{Kind: Join, Left: 0, Right: 5}}},
+		{D: d, Stmts: []Stmt{{Kind: Join, Left: -1, Right: 0}}},
+		{D: d, Stmts: []Stmt{{Kind: Join, Left: 2, Right: 0}}}, // forward ref
+		{D: d, Stmts: []Stmt{{Kind: Project, Left: 0, Proj: u.Set("c")}}},
+		{D: d, Stmts: []Stmt{{Kind: StmtKind(9), Left: 0, Right: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+func TestEvalStats(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	db := urdb(d, 1, 20, 3)
+	p, err := NaivePlan(d, u.Set("a", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Eval(u.Set("a", "c"))
+	if !res.Equal(want) {
+		t.Error("naive plan result wrong")
+	}
+	if st.Joins != 1 || st.Projects != 1 || st.Semijoins != 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if len(st.PerStmt) != 2 || st.MaxIntermediate == 0 {
+		t.Errorf("per-stmt stats wrong: %+v", st)
+	}
+	// Eval on a mismatched database errors.
+	other := urdb(parse(t, u, "ab"), 2, 5, 3)
+	if _, _, err := p.Eval(other); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	empty := NewProgram(d)
+	if _, _, err := empty.Eval(db); err == nil {
+		t.Error("empty program evaluated")
+	}
+}
+
+// TestCorollary41CCPlan: joining exactly the CC members (with
+// pre-projections) solves (D, X) on UR databases — the §6 worked
+// example schema.
+func TestCorollary41CCPlan(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abg, bcg, acf, ad, de, ea")
+	x := u.Set("a", "b", "c")
+	cc := tableau.CC(d, x)
+	plan, err := CCPlan(d, x, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		db := urdb(d, seed, 30, 3)
+		got, _, err := plan.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Eval(x)
+		if !got.Equal(want) {
+			t.Fatalf("CC plan wrong on seed %d", seed)
+		}
+	}
+	// The plan must have dropped relations ad, de, ea: only 3 inputs.
+	joins := 0
+	for _, s := range plan.Stmts {
+		if s.Kind == Join {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Errorf("CC plan uses %d joins, want 2 (3 inputs)", joins)
+	}
+}
+
+// TestTheorem41Necessity: dropping a CC member from the join breaks
+// the plan on some UR database.
+func TestTheorem41Necessity(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abg, bcg, acf, ad, de, ea")
+	x := u.Set("a", "b", "c")
+	// Join only abg and bcg — misses the ac piece of CC.
+	plan, err := JoinProject(d, x, []InputRef{{Rel: 0}, {Rel: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constructed universal relation: two tuples agreeing on b and g
+	// but differing on a and c. Joining abg ⋈ bcg manufactures the
+	// mixed (a, c) pairs; the acf projection kills them in the real
+	// query.
+	i := relation.New(u, d.Attrs())
+	cols := i.Cols() // sorted attribute order
+	mk := func(vals map[string]relation.Value) relation.Tuple {
+		tup := make(relation.Tuple, len(cols))
+		for k, c := range cols {
+			tup[k] = vals[u.Name(c)]
+		}
+		return tup
+	}
+	i.Insert(mk(map[string]relation.Value{"a": 0, "b": 0, "c": 0, "d": 0, "e": 0, "f": 0, "g": 0}))
+	i.Insert(mk(map[string]relation.Value{"a": 1, "b": 0, "c": 1, "d": 1, "e": 1, "f": 1, "g": 0}))
+	db := relation.URDatabase(d, i)
+	got, _, err := plan.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Eval(x)
+	if got.Equal(want) {
+		t.Errorf("under-covering plan agreed on the constructed witness:\n got %s\nwant %s", got, want)
+	}
+	if got.Card() <= want.Card() {
+		t.Errorf("under-covering join should overshoot: got %d ≤ want %d", got.Card(), want.Card())
+	}
+}
+
+// TestFullReducerGlobalConsistency: after the two-pass reducer, every
+// relation equals the projection of the full join.
+func TestFullReducerGlobalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		d := gen.TreeSchema(rng, 1+rng.Intn(6), 2, 2)
+		tr, ok := qualgraph.QualTree(d)
+		if !ok {
+			t.Fatal("generated tree schema rejected")
+		}
+		p, reduced, err := FullReducer(d, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := relation.RandomUniversal(d.U, d.Attrs(), 20, 3, rng)
+		db := relation.URDatabase(d, i)
+		// Interpret manually to extract all intermediate values.
+		vals := make([]*relation.Relation, len(db.Rels), p.NumIDs())
+		copy(vals, db.Rels)
+		for _, s := range p.Stmts {
+			switch s.Kind {
+			case Semijoin:
+				vals = append(vals, vals[s.Left].Semijoin(vals[s.Right]))
+			case Project:
+				vals = append(vals, vals[s.Left].Project(s.Proj))
+			case Join:
+				vals = append(vals, vals[s.Left].Join(vals[s.Right]))
+			}
+		}
+		full := relation.JoinAll(db.Rels)
+		for i2, id := range reduced {
+			got := vals[id]
+			want := full.Project(d.Rels[i2])
+			if !got.Equal(want) {
+				t.Fatalf("relation %d not globally consistent after full reduction (schema %s)", i2, d)
+			}
+		}
+		// Semijoin count: 2(n−1) ≤ 2|D| (Theorem 6.1's budget).
+		semis := 0
+		for _, s := range p.Stmts {
+			if s.Kind == Semijoin {
+				semis++
+			}
+		}
+		if n := len(d.Rels); semis != 2*(n-1) && n > 1 {
+			t.Errorf("full reducer used %d semijoins for n=%d", semis, n)
+		}
+	}
+}
+
+// TestYannakakisCorrect: the Yannakakis program computes π_X(⋈D) on
+// random tree schemas and UR databases.
+func TestYannakakisCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		d := gen.TreeSchema(rng, 1+rng.Intn(6), 2, 2)
+		tr, _ := qualgraph.QualTree(d)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.4)
+		if x.IsEmpty() {
+			x = schema.NewAttrSet(d.Attrs().Min())
+		}
+		p, err := Yannakakis(d, x, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := urdb(d, int64(trial), 25, 3)
+		got, _, err := p.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(db.Eval(x)) {
+			t.Fatalf("Yannakakis wrong on %s, X=%s", d, d.U.FormatSet(x))
+		}
+	}
+}
+
+// TestYannakakisNonURDatabase: full reduction makes Yannakakis correct
+// even on inconsistent (non-UR) databases, where the naive comparison
+// is against the join of the given states.
+func TestYannakakisNonURDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc, cd")
+	tr, _ := qualgraph.QualTree(d)
+	x := u.Set("a", "d")
+	p, err := Yannakakis(d, x, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent random states per relation (not projections of one I).
+	db := &relation.Database{D: d}
+	for _, r := range d.Rels {
+		db.Rels = append(db.Rels, relation.RandomUniversal(u, r, 15, 3, rng))
+	}
+	got, _, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db.Eval(x)) {
+		t.Error("Yannakakis wrong on non-UR database")
+	}
+}
+
+func TestYannakakisSingleRelation(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab")
+	tr, _ := qualgraph.QualTree(d)
+	p, err := Yannakakis(d, u.Set("a"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := urdb(d, 4, 10, 3)
+	got, _, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db.Rels[0].Project(u.Set("a"))) {
+		t.Error("single-relation Yannakakis wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	if _, err := JoinProject(d, u.Set("a"), nil); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if _, err := JoinProject(d, u.Set("a"), []InputRef{{Rel: 7}}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := JoinProject(d, u.Set("a"), []InputRef{{Rel: 0, Proj: u.Set("c")}}); err == nil {
+		t.Error("bad pre-projection accepted")
+	}
+	if _, err := CCPlan(d, u.Set("a"), &schema.Schema{U: u}); err == nil {
+		t.Error("empty CC accepted")
+	}
+	foreign := &schema.Schema{U: u, Rels: []schema.AttrSet{u.Set("z")}}
+	if _, err := CCPlan(d, u.Set("a"), foreign); err == nil {
+		t.Error("uncovered CC member accepted")
+	}
+	tri := parse(t, u, "ab, bc, ac")
+	if _, ok := qualgraph.QualTree(tri); ok {
+		t.Fatal("triangle should have no qual tree")
+	}
+	// FullReducer rejects graphs of the wrong size or shape.
+	tr, _ := qualgraph.QualTree(d)
+	if _, _, err := FullReducer(parse(t, u, "ab"), tr); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	notTree := graph.NewUndirected(2)
+	if _, _, err := FullReducer(d, notTree); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, _, err := FullReducer(&schema.Schema{U: u}, graph.NewUndirected(0)); err == nil {
+		t.Error("empty schema accepted")
+	}
+	u.Attr("z")
+	if _, err := Yannakakis(d, u.Set("z"), tr); err == nil {
+		t.Error("X ⊄ U(D) accepted")
+	}
+}

@@ -1,0 +1,243 @@
+package qualgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/graph"
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFig1QualGraphs verifies Figure 1's qual graphs directly.
+func TestFig1QualGraphs(t *testing.T) {
+	u := schema.NewUniverse()
+
+	// (ab, bc, cd): the path ab—bc—cd is a qual tree.
+	d1 := parse(t, u, "ab, bc, cd")
+	g1 := graph.NewUndirected(3)
+	g1.MustAddEdge(0, 1)
+	g1.MustAddEdge(1, 2)
+	if !IsQualGraph(d1, g1) {
+		t.Error("ab—bc—cd should be a qual graph for (ab,bc,cd)")
+	}
+	// ab—cd—bc is NOT a qual graph: nodes containing b are {ab, bc},
+	// disconnected in that tree.
+	g1bad := graph.NewUndirected(3)
+	g1bad.MustAddEdge(0, 2)
+	g1bad.MustAddEdge(2, 1)
+	if IsQualGraph(d1, g1bad) {
+		t.Error("ab—cd—bc should not be a qual graph")
+	}
+
+	// (ab, bc, ac): the triangle is the only qual graph, so cyclic.
+	d2 := parse(t, u, "ab, bc, ac")
+	tri := graph.NewUndirected(3)
+	tri.MustAddEdge(0, 1)
+	tri.MustAddEdge(1, 2)
+	tri.MustAddEdge(0, 2)
+	if !IsQualGraph(d2, tri) {
+		t.Error("triangle should be a qual graph for (ab,bc,ac)")
+	}
+	count := 0
+	EnumerateQualTrees(d2, func(*graph.Undirected) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("(ab,bc,ac) has %d qual trees, want 0", count)
+	}
+
+	// (abc, cde, ace, afe): Figure 1 exhibits the qual tree
+	// abc—ace—afe with cde hanging off ace.
+	d3 := parse(t, u, "abc, cde, ace, afe")
+	g3 := graph.NewUndirected(4)
+	g3.MustAddEdge(0, 2) // abc—ace
+	g3.MustAddEdge(2, 3) // ace—afe
+	g3.MustAddEdge(2, 1) // ace—cde
+	if !IsQualGraph(d3, g3) {
+		t.Error("Figure 1's qual tree for (abc,cde,ace,afe) rejected")
+	}
+	// The figure also shows the non-tree qual graph abc—ace—afe plus
+	// cde adjacent to both abc and ace; verify it qualifies as a qual
+	// graph but is not a tree.
+	g3b := graph.NewUndirected(4)
+	g3b.MustAddEdge(0, 2)
+	g3b.MustAddEdge(2, 3)
+	g3b.MustAddEdge(2, 1)
+	g3b.MustAddEdge(0, 1) // abc—cde (share c)
+	if !IsQualGraph(d3, g3b) {
+		t.Error("non-tree qual graph rejected")
+	}
+	if g3b.IsTree() {
+		t.Error("g3b should not be a tree")
+	}
+}
+
+func TestQualTreeConstructionsAgreeWithGYO(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		var d *schema.Schema
+		switch trial % 3 {
+		case 0:
+			d = gen.RandomSchema(rng, 1+rng.Intn(6), 2+rng.Intn(5), 0.5)
+		case 1:
+			d = gen.TreeSchema(rng, 1+rng.Intn(7), 2, 2)
+		default:
+			d = gen.Ring(3 + rng.Intn(4))
+		}
+		isTree := gyo.IsTree(d)
+		mst, ok1 := QualTreeMST(d)
+		gt, ok2 := QualTreeGYO(d)
+		if ok1 != isTree || ok2 != isTree {
+			t.Fatalf("construction disagrees with Corollary 3.1 on %s: mst=%v gyo=%v tree=%v",
+				d, ok1, ok2, isTree)
+		}
+		if isTree {
+			if !mst.IsTree() || !gt.IsTree() {
+				t.Fatalf("returned graphs are not trees for %s", d)
+			}
+			if !IsQualGraph(d, mst) || !IsQualGraph(d, gt) {
+				t.Fatalf("returned trees are not qual graphs for %s", d)
+			}
+			if err := VerifyAttributeConnectivity(d, mst); err != nil {
+				t.Fatalf("MST attribute connectivity: %v", err)
+			}
+			if err := VerifyAttributeConnectivity(d, gt); err != nil {
+				t.Fatalf("GYO attribute connectivity: %v", err)
+			}
+		}
+	}
+}
+
+func TestExhaustiveAgreesWithGYO(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		d := gen.RandomSchema(rng, 1+rng.Intn(5), 2+rng.Intn(4), 0.5)
+		if got, want := IsTreeSchemaExhaustive(d), gyo.IsTree(d); got != want {
+			t.Fatalf("exhaustive=%v gyo=%v for %s", got, want, d)
+		}
+	}
+}
+
+func TestQualTreeWithSubsumedRelations(t *testing.T) {
+	u := schema.NewUniverse()
+	// Duplicates and subsets must hang off supersets.
+	d := parse(t, u, "abc, ab, abc, c")
+	tr, ok := QualTree(d)
+	if !ok {
+		t.Fatal("schema with subsets should be a tree schema")
+	}
+	if !IsQualGraph(d, tr) {
+		t.Fatal("qual property lost")
+	}
+	gt, ok := QualTreeGYO(d)
+	if !ok || !IsQualGraph(d, gt) {
+		t.Fatal("GYO construction failed on subsumed relations")
+	}
+}
+
+func TestVerifyAttributeConnectivityErrors(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc, cd")
+	notTree := graph.NewUndirected(3)
+	notTree.MustAddEdge(0, 1)
+	if err := VerifyAttributeConnectivity(d, notTree); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	bad := graph.NewUndirected(3)
+	bad.MustAddEdge(0, 2)
+	bad.MustAddEdge(2, 1)
+	if err := VerifyAttributeConnectivity(d, bad); err == nil {
+		t.Error("tree violating attribute connectivity accepted")
+	}
+}
+
+// TestTheorem31Subtree cross-checks the GYO characterization of
+// subtrees (Theorem 3.1(ii)) against exhaustive qual-tree enumeration.
+func TestTheorem31Subtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	trials, checked := 0, 0
+	for trials < 300 && checked < 120 {
+		trials++
+		d := gen.TreeSchema(rng, 1+rng.Intn(5), 2, 2)
+		if len(d.Rels) > 6 {
+			continue
+		}
+		sub, idx := gen.SubSchema(rng, d)
+		checked++
+		got := IsSubtree(d, sub)
+		want := IsSubtreeExhaustive(d, idx)
+		if got != want {
+			t.Fatalf("subtree mismatch: D=%s D'=%s gyo=%v exhaustive=%v", d, sub, got, want)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}
+
+func TestIsSubtreeEdgeCases(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	// §5.1: (ab, bc) is not a subtree of (abc, ab, bc).
+	if IsSubtree(d, parse(t, u, "ab, bc")) {
+		t.Error("(ab,bc) should not be a subtree of (abc,ab,bc)")
+	}
+	// But (abc, ab) is: hang ab and bc off abc.
+	if !IsSubtree(d, parse(t, u, "abc, ab")) {
+		t.Error("(abc,ab) should be a subtree")
+	}
+	// D is always a subtree of itself (if a tree schema).
+	if !IsSubtree(d, d) {
+		t.Error("D should be a subtree of D")
+	}
+	// Not a sub-multiset → false.
+	if IsSubtree(d, parse(t, u, "cd")) {
+		t.Error("foreign relation accepted")
+	}
+	// Cyclic D → false even for D' = D.
+	ring := parse(t, u, "ab, bc, ac")
+	if IsSubtree(ring, ring) {
+		t.Error("cyclic schema has no subtrees")
+	}
+	// Empty D' is trivially a subtree.
+	if !IsSubtree(d, &schema.Schema{U: u}) {
+		t.Error("empty sub-schema should be a subtree")
+	}
+}
+
+func TestEnumerateQualTreesEarlyStop(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, b, bc") // plenty of qual trees
+	count := 0
+	EnumerateQualTrees(d, func(*graph.Undirected) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestQualTreeEmptyAndSingle(t *testing.T) {
+	u := schema.NewUniverse()
+	empty := &schema.Schema{U: u}
+	if tr, ok := QualTreeMST(empty); !ok || tr.N() != 0 {
+		t.Error("empty schema should have the empty qual tree")
+	}
+	single := parse(t, u, "ab")
+	if tr, ok := QualTreeMST(single); !ok || tr.N() != 1 {
+		t.Error("singleton schema should have the one-node qual tree")
+	}
+	if tr, ok := QualTreeGYO(single); !ok || tr.N() != 1 {
+		t.Error("GYO singleton failed")
+	}
+}

@@ -1,0 +1,337 @@
+// Package relation implements the relational-algebra substrate: relation
+// states over attribute sets, natural join, projection, semijoin, and
+// universal-relation database construction (paper §2). Tuples carry
+// int32 values; relations have set semantics (duplicates eliminated).
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"gyokit/internal/schema"
+)
+
+// Value is a single attribute value.
+type Value = int32
+
+// Tuple is a row; values are ordered by the owning relation's sorted
+// attribute list.
+type Tuple []Value
+
+// Relation is a relation state over a fixed attribute set.
+type Relation struct {
+	U      *schema.Universe
+	attrs  schema.AttrSet
+	cols   []schema.Attr // sorted ascending
+	tuples []Tuple
+	index  map[string]int // tuple key → position (set semantics)
+}
+
+// New returns an empty relation over the given attribute set.
+func New(u *schema.Universe, attrs schema.AttrSet) *Relation {
+	return &Relation{
+		U:     u,
+		attrs: attrs.Clone(),
+		cols:  attrs.Attrs(),
+		index: make(map[string]int),
+	}
+}
+
+// Attrs returns the relation's attribute set.
+func (r *Relation) Attrs() schema.AttrSet { return r.attrs.Clone() }
+
+// Cols returns the sorted attribute list defining tuple column order.
+func (r *Relation) Cols() []schema.Attr { return append([]schema.Attr(nil), r.cols...) }
+
+// Card returns the number of tuples.
+func (r *Relation) Card() int { return len(r.tuples) }
+
+// Tuples returns the tuple slice (shared; callers must not modify).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+func key(t Tuple) string {
+	b := make([]byte, 4*len(t))
+	for i, v := range t {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+// Insert adds a tuple given in column order. Duplicates are ignored.
+// It panics if the arity is wrong (programmer error).
+func (r *Relation) Insert(t Tuple) {
+	if len(t) != len(r.cols) {
+		panic(fmt.Sprintf("relation: arity %d ≠ %d", len(t), len(r.cols)))
+	}
+	k := key(t)
+	if _, dup := r.index[k]; dup {
+		return
+	}
+	cp := append(Tuple(nil), t...)
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, cp)
+}
+
+// InsertMap adds a tuple given as attribute→value; all attributes of
+// the relation must be present.
+func (r *Relation) InsertMap(m map[schema.Attr]Value) {
+	t := make(Tuple, len(r.cols))
+	for i, c := range r.cols {
+		v, ok := m[c]
+		if !ok {
+			panic(fmt.Sprintf("relation: missing attribute %d", c))
+		}
+		t[i] = v
+	}
+	r.Insert(t)
+}
+
+// Has reports whether the tuple (in column order) is present.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.index[key(t)]
+	return ok
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.U, r.attrs)
+	for _, t := range r.tuples {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Equal reports whether r and s have the same attribute set and the
+// same tuple set.
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.attrs.Equal(s.attrs) || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns π_x(r). x must be a subset of r's attributes.
+func (r *Relation) Project(x schema.AttrSet) *Relation {
+	if !x.SubsetOf(r.attrs) {
+		panic(fmt.Sprintf("relation: projection %s ⊄ %s",
+			r.U.FormatSet(x), r.U.FormatSet(r.attrs)))
+	}
+	out := New(r.U, x)
+	pos := make([]int, 0, len(out.cols))
+	for _, c := range out.cols {
+		pos = append(pos, r.colPos(c))
+	}
+	buf := make(Tuple, len(pos))
+	for _, t := range r.tuples {
+		for i, p := range pos {
+			buf[i] = t[p]
+		}
+		out.Insert(buf)
+	}
+	return out
+}
+
+func (r *Relation) colPos(a schema.Attr) int {
+	i := sort.Search(len(r.cols), func(i int) bool { return r.cols[i] >= a })
+	if i == len(r.cols) || r.cols[i] != a {
+		panic(fmt.Sprintf("relation: attribute %d not present", a))
+	}
+	return i
+}
+
+// Join returns the natural join r ⋈ s (hash join on the shared
+// attributes; a cross product when none are shared).
+func (r *Relation) Join(s *Relation) *Relation {
+	shared := r.attrs.Intersect(s.attrs)
+	// Hash the smaller side.
+	build, probe := r, s
+	if s.Card() < r.Card() {
+		build, probe = s, r
+	}
+	sharedCols := shared.Attrs()
+	bPos := make([]int, len(sharedCols))
+	pPos := make([]int, len(sharedCols))
+	for i, c := range sharedCols {
+		bPos[i] = build.colPos(c)
+		pPos[i] = probe.colPos(c)
+	}
+	ht := make(map[string][]Tuple, build.Card())
+	kbuf := make(Tuple, len(sharedCols))
+	for _, t := range build.tuples {
+		for i, p := range bPos {
+			kbuf[i] = t[p]
+		}
+		k := key(kbuf)
+		ht[k] = append(ht[k], t)
+	}
+	out := New(r.U, r.attrs.Union(s.attrs))
+	// Output column sources: from probe where present, else from build.
+	type src struct {
+		fromProbe bool
+		pos       int
+	}
+	srcs := make([]src, len(out.cols))
+	for i, c := range out.cols {
+		if probe.attrs.Has(c) {
+			srcs[i] = src{true, probe.colPos(c)}
+		} else {
+			srcs[i] = src{false, build.colPos(c)}
+		}
+	}
+	obuf := make(Tuple, len(out.cols))
+	for _, pt := range probe.tuples {
+		for i, p := range pPos {
+			kbuf[i] = pt[p]
+		}
+		for _, bt := range ht[key(kbuf)] {
+			for i, s := range srcs {
+				if s.fromProbe {
+					obuf[i] = pt[s.pos]
+				} else {
+					obuf[i] = bt[s.pos]
+				}
+			}
+			out.Insert(obuf)
+		}
+	}
+	return out
+}
+
+// Semijoin returns r ⋉ s = π_{attrs(r)}(r ⋈ s): the tuples of r that
+// join with at least one tuple of s.
+func (r *Relation) Semijoin(s *Relation) *Relation {
+	shared := r.attrs.Intersect(s.attrs)
+	sharedCols := shared.Attrs()
+	sPos := make([]int, len(sharedCols))
+	rPos := make([]int, len(sharedCols))
+	for i, c := range sharedCols {
+		sPos[i] = s.colPos(c)
+		rPos[i] = r.colPos(c)
+	}
+	seen := make(map[string]bool, s.Card())
+	kbuf := make(Tuple, len(sharedCols))
+	for _, t := range s.tuples {
+		for i, p := range sPos {
+			kbuf[i] = t[p]
+		}
+		seen[key(kbuf)] = true
+	}
+	out := New(r.U, r.attrs)
+	for _, t := range r.tuples {
+		for i, p := range rPos {
+			kbuf[i] = t[p]
+		}
+		if seen[key(kbuf)] {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// JoinAll folds the natural join over rels left to right. It panics on
+// an empty input (the identity of ⋈ is the zero-attribute relation
+// with one tuple; callers that need it can construct it explicitly).
+func JoinAll(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: JoinAll of nothing")
+	}
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = acc.Join(r)
+	}
+	return acc
+}
+
+// String renders the relation sorted, for debugging and golden tests.
+func (r *Relation) String() string {
+	var b strings.Builder
+	names := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		names[i] = r.U.Name(c)
+	}
+	fmt.Fprintf(&b, "%s[%d]{", strings.Join(names, ","), len(r.tuples))
+	rows := make([]string, len(r.tuples))
+	for i, t := range r.tuples {
+		parts := make([]string, len(t))
+		for j, v := range t {
+			parts[j] = fmt.Sprint(v)
+		}
+		rows[i] = "(" + strings.Join(parts, ",") + ")"
+	}
+	sort.Strings(rows)
+	b.WriteString(strings.Join(rows, " "))
+	b.WriteString("}")
+	return b.String()
+}
+
+// RandomUniversal generates a random universal relation over attrs with
+// n distinct tuples drawn uniformly from [0, domain) per column.
+func RandomUniversal(u *schema.Universe, attrs schema.AttrSet, n, domain int, rng *rand.Rand) *Relation {
+	r := New(u, attrs)
+	w := len(r.cols)
+	t := make(Tuple, w)
+	for tries := 0; r.Card() < n && tries < 50*n+100; tries++ {
+		for i := range t {
+			t[i] = Value(rng.Intn(domain))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// Database is a universal-relation database state: one relation per
+// relation schema of D, in the same order.
+type Database struct {
+	D    *schema.Schema
+	Rels []*Relation
+	Univ *Relation // the generating universal relation (may be nil)
+}
+
+// URDatabase builds the UR database D = {π_R(I) | R ∈ D} from the
+// universal relation I.
+func URDatabase(d *schema.Schema, i *Relation) *Database {
+	db := &Database{D: d, Univ: i}
+	for _, r := range d.Rels {
+		db.Rels = append(db.Rels, i.Project(r))
+	}
+	return db
+}
+
+// Eval computes Q(D) = π_X(⋈ᵢ Rᵢ) naively over the database state.
+func (db *Database) Eval(x schema.AttrSet) *Relation {
+	return JoinAll(db.Rels).Project(x)
+}
+
+// EvalSubset computes π_X(⋈_{i∈idx} Rᵢ).
+func (db *Database) EvalSubset(x schema.AttrSet, idx []int) *Relation {
+	rels := make([]*Relation, 0, len(idx))
+	for _, i := range idx {
+		rels = append(rels, db.Rels[i])
+	}
+	return JoinAll(rels).Project(x)
+}
+
+// SatisfiesJD reports whether the universal relation i satisfies the
+// join dependency ⋈D: π_{U(D)}(I) = ⋈_{R∈D} π_R(I) (§5.1; an embedded
+// join dependency when U(D) ⊊ attrs(I)).
+func SatisfiesJD(i *Relation, d *schema.Schema) bool {
+	lhs := i.Project(d.Attrs().Intersect(i.Attrs()))
+	var rels []*Relation
+	for _, r := range d.Rels {
+		rels = append(rels, i.Project(r.Intersect(i.Attrs())))
+	}
+	if len(rels) == 0 {
+		return true
+	}
+	return JoinAll(rels).Equal(lhs)
+}

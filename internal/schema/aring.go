@@ -1,0 +1,188 @@
+package schema
+
+import "fmt"
+
+// Aring returns the Aring of size n (paper §3.1): attributes A₁..Aₙ and
+// relation schemas {A₁A₂, A₂A₃, …, Aₙ₋₁Aₙ, AₙA₁}. It panics for n < 3.
+// Attribute names are prefix+index ("a1", "a2", …) unless n ≤ 26 and
+// prefix is empty, in which case single letters a, b, c, … are used so
+// examples match the paper's notation.
+func Aring(u *Universe, n int, prefix string) *Schema {
+	if n < 3 {
+		panic(fmt.Sprintf("schema: Aring size %d < 3", n))
+	}
+	attrs := ringAttrs(u, n, prefix)
+	d := &Schema{U: u}
+	for i := 0; i < n; i++ {
+		d.Add(NewAttrSet(attrs[i], attrs[(i+1)%n]))
+	}
+	return d
+}
+
+// Aclique returns the Aclique of size n (paper §3.1): attributes A₁..Aₙ
+// and relation schemas U−{A₁}, …, U−{Aₙ}. It panics for n < 3.
+func Aclique(u *Universe, n int, prefix string) *Schema {
+	if n < 3 {
+		panic(fmt.Sprintf("schema: Aclique size %d < 3", n))
+	}
+	attrs := ringAttrs(u, n, prefix)
+	var all AttrSet
+	for _, a := range attrs {
+		all = all.Union(NewAttrSet(a))
+	}
+	d := &Schema{U: u}
+	for i := 0; i < n; i++ {
+		d.Add(all.Remove(attrs[i]))
+	}
+	return d
+}
+
+func ringAttrs(u *Universe, n int, prefix string) []Attr {
+	attrs := make([]Attr, n)
+	for i := 0; i < n; i++ {
+		var name string
+		if prefix == "" && n <= 26 {
+			name = string(rune('a' + i))
+		} else {
+			name = fmt.Sprintf("%s%d", prefix, i+1)
+		}
+		attrs[i] = u.Attr(name)
+	}
+	return attrs
+}
+
+// IsAring reports whether d is (isomorphic to) an Aring: a reduced,
+// connected schema of n ≥ 3 binary relation schemas over n attributes in
+// which every attribute occurs in exactly two relation schemas and the
+// relation schemas form a single cycle.
+func IsAring(d *Schema) bool {
+	n := len(d.Rels)
+	if n < 3 {
+		return false
+	}
+	attrs := d.Attrs()
+	if attrs.Card() != n {
+		return false
+	}
+	occ := map[Attr]int{}
+	for _, r := range d.Rels {
+		if r.Card() != 2 {
+			return false
+		}
+		r.ForEach(func(a Attr) bool {
+			occ[a]++
+			return true
+		})
+	}
+	for _, c := range occ {
+		if c != 2 {
+			return false
+		}
+	}
+	// n binary edges over n vertices, every vertex of degree 2: the edge
+	// multiset is a disjoint union of cycles; a single cycle iff connected
+	// and no duplicate edges (a duplicate edge would be a 2-cycle).
+	if !d.IsReduced() {
+		return false
+	}
+	return d.Connected()
+}
+
+// IsAclique reports whether d is (isomorphic to) an Aclique: n ≥ 3
+// relation schemas over n attributes where each relation schema is
+// U(D) − {A} for a distinct attribute A.
+func IsAclique(d *Schema) bool {
+	n := len(d.Rels)
+	if n < 3 {
+		return false
+	}
+	all := d.Attrs()
+	if all.Card() != n {
+		return false
+	}
+	seen := map[Attr]bool{}
+	for _, r := range d.Rels {
+		missing := all.Diff(r)
+		if missing.Card() != 1 {
+			return false
+		}
+		a := missing.Min()
+		if seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return len(seen) == n
+}
+
+// Lemma31Witness searches for the Lemma 3.1 witness of cyclicity: an
+// attribute set X ⊆ U(D) such that eliminating subset and duplicate
+// relation schemas from (R − X | R ∈ D) yields an Aring or an Aclique.
+// It returns the witness X, the resulting core schema, and its kind.
+// found is false when no witness exists (by Lemma 3.1, exactly when D is
+// a tree schema).
+//
+// The search is exhaustive over subsets of U(D) and therefore
+// exponential; it is intended for schemas with small universes
+// (|U(D)| ≲ 20), which covers every example in the paper.
+func Lemma31Witness(d *Schema) (x AttrSet, core *Schema, kind CoreKind, found bool) {
+	attrs := d.Attrs().Attrs()
+	if len(attrs) > 24 {
+		panic(fmt.Sprintf("schema: Lemma31Witness universe too large (%d attrs)", len(attrs)))
+	}
+	// Enumerate subsets in increasing cardinality so the first witness
+	// found deletes as few attributes as possible.
+	subsets := make([]AttrSet, 0, 1<<len(attrs))
+	for mask := 0; mask < 1<<len(attrs); mask++ {
+		var s AttrSet
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				s.add(a)
+			}
+		}
+		subsets = append(subsets, s)
+	}
+	SortSets(subsets)
+	for _, s := range subsets {
+		c := d.DeleteAttrs(s).Reduce()
+		// Drop any leftover empty relation schema before recognition.
+		c = dropEmpty(c)
+		if IsAring(c) {
+			return s, c, CoreAring, true
+		}
+		if IsAclique(c) {
+			return s, c, CoreAclique, true
+		}
+	}
+	return AttrSet{}, nil, CoreNone, false
+}
+
+// CoreKind names the Lemma 3.1 core families.
+type CoreKind int
+
+const (
+	CoreNone CoreKind = iota
+	CoreAring
+	CoreAclique
+)
+
+func (k CoreKind) String() string {
+	switch k {
+	case CoreAring:
+		return "Aring"
+	case CoreAclique:
+		return "Aclique"
+	default:
+		return "none"
+	}
+}
+
+func dropEmpty(d *Schema) *Schema {
+	out := &Schema{U: d.U}
+	for _, r := range d.Rels {
+		if !r.IsEmpty() {
+			out.Rels = append(out.Rels, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randSet is a quick.Generator producing attribute sets over a bounded
+// universe, so property tests exercise word boundaries (attrs up to 130
+// span three words).
+type randSet struct{ S AttrSet }
+
+func (randSet) Generate(r *rand.Rand, size int) reflect.Value {
+	var s AttrSet
+	n := r.Intn(size + 1)
+	for i := 0; i < n; i++ {
+		s.add(Attr(r.Intn(130)))
+	}
+	return reflect.ValueOf(randSet{S: s})
+}
+
+func qc(t *testing.T, f interface{}) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrSetBasics(t *testing.T) {
+	s := NewAttrSet(1, 5, 64, 129)
+	if got := s.Card(); got != 4 {
+		t.Fatalf("Card = %d, want 4", got)
+	}
+	for _, a := range []Attr{1, 5, 64, 129} {
+		if !s.Has(a) {
+			t.Errorf("missing attribute %d", a)
+		}
+	}
+	for _, a := range []Attr{0, 2, 63, 65, 128, 130, 500} {
+		if s.Has(a) {
+			t.Errorf("unexpected attribute %d", a)
+		}
+	}
+	if s.Min() != 1 {
+		t.Errorf("Min = %d, want 1", s.Min())
+	}
+	if got := s.Attrs(); !reflect.DeepEqual(got, []Attr{1, 5, 64, 129}) {
+		t.Errorf("Attrs = %v", got)
+	}
+	if !NewAttrSet().IsEmpty() {
+		t.Error("empty set not empty")
+	}
+	if NewAttrSet().Min() != -1 {
+		t.Error("empty Min should be -1")
+	}
+}
+
+func TestAttrSetImmutability(t *testing.T) {
+	s := NewAttrSet(1, 2)
+	u := s.Add(3)
+	if s.Has(3) {
+		t.Error("Add mutated receiver")
+	}
+	v := u.Remove(1)
+	if !u.Has(1) {
+		t.Error("Remove mutated receiver")
+	}
+	if v.Has(1) || !v.Has(2) || !v.Has(3) {
+		t.Errorf("Remove wrong result: %v", v.Attrs())
+	}
+	w := s.Union(NewAttrSet(100))
+	if s.Has(100) {
+		t.Error("Union mutated receiver")
+	}
+	_ = w
+}
+
+func TestAttrSetAlgebraProperties(t *testing.T) {
+	qc(t, func(x, y randSet) bool {
+		// Union is commutative and contains both operands.
+		u1, u2 := x.S.Union(y.S), y.S.Union(x.S)
+		return u1.Equal(u2) && x.S.SubsetOf(u1) && y.S.SubsetOf(u1)
+	})
+	qc(t, func(x, y randSet) bool {
+		// Intersection is contained in both and symmetric.
+		i1, i2 := x.S.Intersect(y.S), y.S.Intersect(x.S)
+		return i1.Equal(i2) && i1.SubsetOf(x.S) && i1.SubsetOf(y.S)
+	})
+	qc(t, func(x, y randSet) bool {
+		// Diff removes exactly the intersection.
+		d := x.S.Diff(y.S)
+		return d.Intersect(y.S).IsEmpty() && d.Union(x.S.Intersect(y.S)).Equal(x.S)
+	})
+	qc(t, func(x, y, z randSet) bool {
+		// De Morgan-ish distributivity: x ∩ (y ∪ z) = (x∩y) ∪ (x∩z).
+		l := x.S.Intersect(y.S.Union(z.S))
+		r := x.S.Intersect(y.S).Union(x.S.Intersect(z.S))
+		return l.Equal(r)
+	})
+	qc(t, func(x, y randSet) bool {
+		// Cardinality arithmetic: |x| + |y| = |x∪y| + |x∩y|.
+		return x.S.Card()+y.S.Card() == x.S.Union(y.S).Card()+x.S.Intersect(y.S).Card()
+	})
+	qc(t, func(x, y randSet) bool {
+		// Intersects and IntersectCard agree with Intersect.
+		i := x.S.Intersect(y.S)
+		return x.S.Intersects(y.S) == !i.IsEmpty() && x.S.IntersectCard(y.S) == i.Card()
+	})
+	qc(t, func(x, y randSet) bool {
+		// SubsetOf agrees with Union/Intersect formulations.
+		want := x.S.Union(y.S).Equal(y.S)
+		return x.S.SubsetOf(y.S) == want && want == x.S.Intersect(y.S).Equal(x.S)
+	})
+	qc(t, func(x, y randSet) bool {
+		// Equal sets have equal Hash and Key.
+		if !x.S.Equal(y.S) {
+			return true
+		}
+		return x.S.Hash() == y.S.Hash() && x.S.Key() == y.S.Key()
+	})
+	qc(t, func(x randSet) bool {
+		// Key is canonical even with trailing zero words.
+		padded := x.S.Clone()
+		padded.ensure(5)
+		return padded.Key() == x.S.Key() && padded.Hash() == x.S.Hash() && padded.Equal(x.S)
+	})
+	qc(t, func(x, y randSet) bool {
+		// Compare is antisymmetric and consistent with Equal.
+		c1, c2 := x.S.Compare(y.S), y.S.Compare(x.S)
+		if x.S.Equal(y.S) {
+			return c1 == 0 && c2 == 0
+		}
+		return c1 == -c2 && c1 != 0
+	})
+}
+
+func TestAttrSetForEachOrderAndStop(t *testing.T) {
+	s := NewAttrSet(70, 3, 129, 10)
+	var seen []Attr
+	s.ForEach(func(a Attr) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []Attr{3, 10, 70, 129}) {
+		t.Errorf("ForEach order = %v", seen)
+	}
+	count := 0
+	s.ForEach(func(a Attr) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("ForEach early stop visited %d", count)
+	}
+}
+
+func TestProperSubset(t *testing.T) {
+	a := NewAttrSet(1, 2)
+	b := NewAttrSet(1, 2, 3)
+	if !a.ProperSubsetOf(b) || b.ProperSubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Error("ProperSubsetOf misbehaves")
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []AttrSet{NewAttrSet(5), NewAttrSet(1, 2), NewAttrSet(0), NewAttrSet(1, 3)}
+	SortSets(sets)
+	want := []AttrSet{NewAttrSet(0), NewAttrSet(5), NewAttrSet(1, 2), NewAttrSet(1, 3)}
+	for i := range want {
+		if !sets[i].Equal(want[i]) {
+			t.Fatalf("SortSets[%d] = %v, want %v", i, sets[i].Attrs(), want[i].Attrs())
+		}
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := NewUniverse()
+	a := u.Attr("a")
+	b := u.Attr("b")
+	if a2 := u.Attr("a"); a2 != a {
+		t.Errorf("re-interning changed id: %d vs %d", a2, a)
+	}
+	if u.Size() != 2 {
+		t.Errorf("Size = %d", u.Size())
+	}
+	if u.Name(a) != "a" || u.Name(b) != "b" {
+		t.Error("Name mismatch")
+	}
+	if _, ok := u.Lookup("zzz"); ok {
+		t.Error("Lookup invented an attribute")
+	}
+	if got := u.FormatSet(u.Set("b", "a")); got != "ab" {
+		t.Errorf("FormatSet = %q, want ab", got)
+	}
+	if got := u.FormatSet(AttrSet{}); got != "∅" {
+		t.Errorf("FormatSet empty = %q", got)
+	}
+	long := NewUniverse()
+	long.Attr("order")
+	long.Attr("line")
+	if got := long.FormatSet(long.Set("order", "line")); got != "line order" {
+		t.Errorf("FormatSet multi-char = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Name on foreign attr should panic")
+		}
+	}()
+	u.Name(Attr(99))
+}

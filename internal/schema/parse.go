@@ -1,0 +1,96 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a schema in the paper's compact notation: relation
+// schemas separated by commas (and optionally wrapped in parentheses),
+// each relation schema written either as a run of single-character
+// attribute names ("abc") or as space-separated multi-character names
+// ("order line item"). Examples accepted:
+//
+//	"ab, bc, cd"
+//	"(ab,bc,ac)"
+//	"abc, cde, ace, afe"
+//	"user id, id name"
+//
+// All attributes are interned into u. Whitespace around separators is
+// ignored. An empty relation schema may be written as "∅" or "{}".
+func Parse(u *Universe, s string) (*Schema, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	d := &Schema{U: u}
+	if strings.TrimSpace(s) == "" {
+		return d, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("schema: empty relation schema in %q", s)
+		}
+		r, err := parseRel(u, part)
+		if err != nil {
+			return nil, err
+		}
+		d.Rels = append(d.Rels, r)
+	}
+	return d, nil
+}
+
+func parseRel(u *Universe, part string) (AttrSet, error) {
+	if part == "∅" || part == "{}" {
+		return AttrSet{}, nil
+	}
+	fields := strings.Fields(part)
+	var s AttrSet
+	if len(fields) == 1 {
+		// Single token: treat each rune as a one-letter attribute, the
+		// paper's "abc" style — unless the token contains non-letters or
+		// uppercase mixing suggests a real identifier.
+		tok := fields[0]
+		allSingle := true
+		for _, r := range tok {
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				allSingle = false
+				break
+			}
+		}
+		if allSingle {
+			for _, r := range tok {
+				s.add(u.Attr(string(r)))
+			}
+			return s, nil
+		}
+		return AttrSet{}, fmt.Errorf("schema: cannot parse relation schema %q", part)
+	}
+	for _, f := range fields {
+		s.add(u.Attr(f))
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(u *Universe, s string) *Schema {
+	d, err := Parse(u, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustSet parses a single relation schema ("abc" or "a b c") into u.
+func MustSet(u *Universe, s string) AttrSet {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "∅" || s == "{}" {
+		return AttrSet{}
+	}
+	r, err := parseRel(u, s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,96 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Universe interns attribute names. All schemas participating in one
+// analysis must share a Universe so that their bitsets line up.
+//
+// A Universe is not safe for concurrent mutation; concurrent reads are
+// fine once interning is complete.
+type Universe struct {
+	names []string
+	index map[string]Attr
+}
+
+// NewUniverse returns an empty attribute universe.
+func NewUniverse() *Universe {
+	return &Universe{index: make(map[string]Attr)}
+}
+
+// Attr interns name and returns its attribute id, allocating a new id for
+// unseen names.
+func (u *Universe) Attr(name string) Attr {
+	if a, ok := u.index[name]; ok {
+		return a
+	}
+	a := Attr(len(u.names))
+	u.names = append(u.names, name)
+	u.index[name] = a
+	return a
+}
+
+// Lookup returns the id for name without interning. ok is false when the
+// name has never been interned.
+func (u *Universe) Lookup(name string) (a Attr, ok bool) {
+	a, ok = u.index[name]
+	return a, ok
+}
+
+// Name returns the interned name of a. It panics if a was never allocated
+// by this universe.
+func (u *Universe) Name(a Attr) string {
+	if int(a) < 0 || int(a) >= len(u.names) {
+		panic(fmt.Sprintf("schema: attribute %d not in universe (size %d)", a, len(u.names)))
+	}
+	return u.names[int(a)]
+}
+
+// Size returns the number of interned attributes.
+func (u *Universe) Size() int { return len(u.names) }
+
+// All returns the set of every interned attribute.
+func (u *Universe) All() AttrSet {
+	var s AttrSet
+	for i := range u.names {
+		s.add(Attr(i))
+	}
+	return s
+}
+
+// Set interns the given names and returns the corresponding set.
+func (u *Universe) Set(names ...string) AttrSet {
+	var s AttrSet
+	for _, n := range names {
+		s.add(u.Attr(n))
+	}
+	return s
+}
+
+// FormatSet renders a set using this universe's attribute names. Names
+// are concatenated when every name is a single character (the paper's
+// "abc" style) and joined by spaces otherwise. The empty set renders
+// as "∅".
+func (u *Universe) FormatSet(s AttrSet) string {
+	attrs := s.Attrs()
+	if len(attrs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(attrs))
+	compact := true
+	for i, a := range attrs {
+		parts[i] = u.Name(a)
+		if len(parts[i]) != 1 {
+			compact = false
+		}
+	}
+	// Sort by name so output is stable even if interning order differs.
+	sort.Strings(parts)
+	if compact {
+		return strings.Join(parts, "")
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,411 @@
+// Package tableau implements the tableau machinery of the paper's §3.4:
+// the standard tableau Tab(D, X) for a natural-join query (D, X),
+// containment mappings, tableau equivalence and isomorphism, tableau
+// minimization, canonical schemas CS(D, X), and the canonical
+// connection CC(D, X).
+//
+// Variables are encoded per attribute column: the distinguished
+// variable a (paper's notation) for attribute A, the shared
+// nondistinguished variable a′ used by every row whose schema contains
+// A outside X, and unique nondistinguished padding variables for all
+// other cells. Containment mappings are symbol-to-symbol mappings that
+// fix distinguished variables and send every row onto a row of the
+// target tableau; finding one is NP-hard in general, so the search is
+// backtracking with candidate pruning, fine for the tableau sizes that
+// arise from schemas (≲ 20 rows).
+package tableau
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+// Var is a tableau variable. For a universe of n attributes:
+//
+//	0 ≤ v < n    — distinguished variable for attribute v
+//	n ≤ v < 2n   — the shared nondistinguished variable for attribute v−n
+//	v ≥ 2n       — unique nondistinguished variables
+type Var int32
+
+// Tableau is a tableau over the full attribute universe: every row has
+// one variable per attribute. Rows correspond to the relation schemas
+// of the originating query.
+type Tableau struct {
+	U    *schema.Universe
+	X    schema.AttrSet // summary: distinguished attributes
+	Rows [][]Var
+	// RowOrigin[i] is the index of the relation schema in the original
+	// query that produced row i; preserved by Without/Minimize.
+	RowOrigin []int
+
+	n int // universe size at construction
+}
+
+// New constructs the standard tableau Tab(D, X) per §3.4 (i)–(iv).
+// It panics if X ⊄ U(D): the query (D, X) would be ill-formed.
+func New(d *schema.Schema, x schema.AttrSet) *Tableau {
+	if !x.SubsetOf(d.Attrs()) {
+		panic(fmt.Sprintf("tableau: target %s ⊄ U(D) %s",
+			d.U.FormatSet(x), d.U.FormatSet(d.Attrs())))
+	}
+	n := d.U.Size()
+	t := &Tableau{U: d.U, X: x.Clone(), n: n}
+	next := Var(2 * n)
+	for i, r := range d.Rels {
+		row := make([]Var, n)
+		for c := 0; c < n; c++ {
+			a := schema.Attr(c)
+			switch {
+			case r.Has(a) && x.Has(a):
+				row[c] = Var(c) // distinguished
+			case r.Has(a):
+				row[c] = Var(n + c) // shared nondistinguished
+			default:
+				row[c] = next
+				next++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		t.RowOrigin = append(t.RowOrigin, i)
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Tableau) NumRows() int { return len(t.Rows) }
+
+// Distinguished reports whether v is a distinguished variable.
+func (t *Tableau) Distinguished(v Var) bool { return int(v) < t.n }
+
+// Without returns the subtableau with the given row indexes removed.
+func (t *Tableau) Without(rows ...int) *Tableau {
+	drop := map[int]bool{}
+	for _, r := range rows {
+		drop[r] = true
+	}
+	out := &Tableau{U: t.U, X: t.X.Clone(), n: t.n}
+	for i, row := range t.Rows {
+		if !drop[i] {
+			out.Rows = append(out.Rows, row)
+			out.RowOrigin = append(out.RowOrigin, t.RowOrigin[i])
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Tableau) Clone() *Tableau {
+	out := &Tableau{U: t.U, X: t.X.Clone(), n: t.n}
+	for i, row := range t.Rows {
+		out.Rows = append(out.Rows, append([]Var(nil), row...))
+		out.RowOrigin = append(out.RowOrigin, t.RowOrigin[i])
+	}
+	return out
+}
+
+// String renders the tableau for debugging; distinguished variables
+// print as the attribute name, shared ones with a prime, unique ones as
+// u<k>.
+func (t *Tableau) String() string {
+	var b strings.Builder
+	for i, row := range t.Rows {
+		fmt.Fprintf(&b, "r%d:", t.RowOrigin[i])
+		for c, v := range row {
+			switch {
+			case int(v) < t.n:
+				fmt.Fprintf(&b, " %s", t.U.Name(schema.Attr(c)))
+			case int(v) < 2*t.n:
+				fmt.Fprintf(&b, " %s'", t.U.Name(schema.Attr(c)))
+			default:
+				fmt.Fprintf(&b, " u%d", int(v)-2*t.n)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Containment searches for a containment mapping from src to dst: a
+// symbol mapping fixing distinguished variables under which every row
+// of src becomes a row of dst. It returns the row assignment
+// (src row index → dst row index) and whether one exists. Both tableaux
+// must share a universe and target X.
+func Containment(src, dst *Tableau) (rowMap []int, ok bool) {
+	if src.U != dst.U || !src.X.Equal(dst.X) {
+		panic("tableau: containment across different universes or targets")
+	}
+	m := len(src.Rows)
+	if m == 0 {
+		return nil, true
+	}
+	if len(dst.Rows) == 0 {
+		return nil, false
+	}
+	n := src.n
+	// Candidate rows: dst rows matching all distinguished cells of the
+	// src row (a distinguished variable must map to itself).
+	cands := make([][]int, m)
+	for i, row := range src.Rows {
+		for j, drow := range dst.Rows {
+			okCand := true
+			for c := 0; c < n; c++ {
+				if int(row[c]) < n && drow[c] != row[c] {
+					okCand = false
+					break
+				}
+			}
+			if okCand {
+				cands[i] = append(cands[i], j)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return nil, false
+		}
+	}
+	// Order rows by fewest candidates (fail-first).
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cands[order[a]]) < len(cands[order[b]]) })
+
+	h := make(map[Var]Var)
+	assign := make([]int, m)
+	var bt func(k int) bool
+	bt = func(k int) bool {
+		if k == m {
+			return true
+		}
+		i := order[k]
+		row := src.Rows[i]
+	next:
+		for _, j := range cands[i] {
+			drow := dst.Rows[j]
+			var bound []Var
+			for c := 0; c < n; c++ {
+				v := row[c]
+				if int(v) < n {
+					continue // distinguished, already matched
+				}
+				if w, exists := h[v]; exists {
+					if w != drow[c] {
+						for _, b := range bound {
+							delete(h, b)
+						}
+						continue next
+					}
+				} else {
+					h[v] = drow[c]
+					bound = append(bound, v)
+				}
+			}
+			assign[i] = j
+			if bt(k + 1) {
+				return true
+			}
+			for _, b := range bound {
+				delete(h, b)
+			}
+		}
+		return false
+	}
+	if !bt(0) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// Contains reports whether a containment mapping src → dst exists.
+func Contains(src, dst *Tableau) bool {
+	_, ok := Containment(src, dst)
+	return ok
+}
+
+// Equivalent reports tableau equivalence: containment mappings in both
+// directions (the paper's T ≡ T′).
+func Equivalent(a, b *Tableau) bool {
+	return Contains(a, b) && Contains(b, a)
+}
+
+// Isomorphic reports the paper's T ≃ T′: equal row counts with
+// row-injective containment mappings in both directions.
+func Isomorphic(a, b *Tableau) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	return injectiveContainment(a, b) && injectiveContainment(b, a)
+}
+
+func injectiveContainment(src, dst *Tableau) bool {
+	// Same search as Containment but with used-row bookkeeping.
+	if src.U != dst.U || !src.X.Equal(dst.X) {
+		panic("tableau: containment across different universes or targets")
+	}
+	m := len(src.Rows)
+	n := src.n
+	cands := make([][]int, m)
+	for i, row := range src.Rows {
+		for j, drow := range dst.Rows {
+			okCand := true
+			for c := 0; c < n; c++ {
+				if int(row[c]) < n && drow[c] != row[c] {
+					okCand = false
+					break
+				}
+			}
+			if okCand {
+				cands[i] = append(cands[i], j)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cands[order[a]]) < len(cands[order[b]]) })
+	h := make(map[Var]Var)
+	used := make([]bool, len(dst.Rows))
+	var bt func(k int) bool
+	bt = func(k int) bool {
+		if k == m {
+			return true
+		}
+		i := order[k]
+		row := src.Rows[i]
+	next:
+		for _, j := range cands[i] {
+			if used[j] {
+				continue
+			}
+			drow := dst.Rows[j]
+			var bound []Var
+			for c := 0; c < n; c++ {
+				v := row[c]
+				if int(v) < n {
+					continue
+				}
+				if w, exists := h[v]; exists {
+					if w != drow[c] {
+						for _, b := range bound {
+							delete(h, b)
+						}
+						continue next
+					}
+				} else {
+					h[v] = drow[c]
+					bound = append(bound, v)
+				}
+			}
+			used[j] = true
+			if bt(k + 1) {
+				return true
+			}
+			used[j] = false
+			for _, b := range bound {
+				delete(h, b)
+			}
+		}
+		return false
+	}
+	return bt(0)
+}
+
+// Minimize returns a minimal tableau equivalent to t, computed by
+// greedily removing rows r for which a containment mapping
+// t → t−{r} exists. Greedy removal is sound because minimal tableaux
+// are unique up to isomorphism (Lemma 3.4): the fixpoint of row
+// removal is the core.
+func (t *Tableau) Minimize() *Tableau {
+	cur := t.Clone()
+	for {
+		removed := false
+		for r := 0; r < len(cur.Rows); r++ {
+			cand := cur.Without(r)
+			if Contains(cur, cand) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// CanonicalSchema computes CS of the given tableau (paper §3.4): for
+// each row rᵢ the relation schema
+//
+//	Rᵢ = {A | rᵢ[A] is distinguished, or rᵢ[A] occurs in another row}
+//
+// and the result is the reduction of (R₁, …).
+func CanonicalSchema(t *Tableau) *schema.Schema {
+	n := t.n
+	// Count occurrences of each variable across rows (a variable occurs
+	// at most once per row, in its own column).
+	occ := map[Var]int{}
+	for _, row := range t.Rows {
+		for c := 0; c < n; c++ {
+			occ[row[c]]++
+		}
+	}
+	d := &schema.Schema{U: t.U}
+	for _, row := range t.Rows {
+		r := schema.NewAttrSet()
+		for c := 0; c < n; c++ {
+			v := row[c]
+			if int(v) < n || occ[v] > 1 {
+				r = r.Add(schema.Attr(c))
+			}
+		}
+		d.Add(r)
+	}
+	return d.Reduce()
+}
+
+// CC computes the canonical connection CC(D, X): the canonical schema
+// of a minimal tableau for (D, X) (§3.4). When D is a tree schema it
+// uses the Theorem 3.3(ii) fast path CC(D, X) = GR(D, X); otherwise it
+// minimizes the tableau. CCGeneric always takes the tableau route.
+func CC(d *schema.Schema, x schema.AttrSet) *schema.Schema {
+	if gyo.IsTree(d) {
+		return grAsCC(d, x)
+	}
+	return CCGeneric(d, x)
+}
+
+// grAsCC returns GR(D, X) post-processed exactly like a canonical
+// schema: reduced. (GR is already reduced; Reduce also normalizes away
+// an empty relation schema paired with non-empty ones.)
+func grAsCC(d *schema.Schema, x schema.AttrSet) *schema.Schema {
+	return gyo.Reduce(d, x).GR.Reduce()
+}
+
+// CCGeneric computes CC(D, X) by tableau minimization, with no
+// tree-schema shortcut. Exponential in the worst case; intended for
+// |D| ≲ 20.
+func CCGeneric(d *schema.Schema, x schema.AttrSet) *schema.Schema {
+	t := New(d, x)
+	return CanonicalSchema(t.Minimize())
+}
+
+// QueriesEquivalent decides (D, X) ≡ (D′, X) — weak equivalence over
+// all universal databases — via Lemma 3.2: Tab(D, X) ≡ Tab(D′, X).
+// Both schemas must share a universe; X must be ⊆ U(D) ∩ U(D′).
+func QueriesEquivalent(d, dp *schema.Schema, x schema.AttrSet) bool {
+	return Equivalent(New(d, x), New(dp, x))
+}
+
+// QueryContained decides (D, X) ⊒ (D′, X) in the weak-containment
+// sense used by the paper's proofs: a containment mapping from
+// Tab(D, X) to Tab(D′, X) witnesses Q′ ⊆ Q on universal databases.
+func QueryContained(d, dp *schema.Schema, x schema.AttrSet) bool {
+	return Contains(New(d, x), New(dp, x))
+}

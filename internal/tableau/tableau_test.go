@@ -1,0 +1,329 @@
+package tableau
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStandardTableauShape(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	x := u.Set("a", "c")
+	tab := New(d, x)
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	a, _ := u.Lookup("a")
+	b, _ := u.Lookup("b")
+	c, _ := u.Lookup("c")
+	// Row 0 (ab): a distinguished, b shared, c unique.
+	if !tab.Distinguished(tab.Rows[0][a]) {
+		t.Error("a should be distinguished in row 0")
+	}
+	if tab.Rows[0][b] != Var(u.Size()+int(b)) {
+		t.Error("b should be the shared nondistinguished variable in row 0")
+	}
+	if int(tab.Rows[0][c]) < 2*u.Size() {
+		t.Error("c should be unique in row 0")
+	}
+	// Shared variable is identical across rows containing b.
+	if tab.Rows[0][b] != tab.Rows[1][b] {
+		t.Error("shared variable differs between rows")
+	}
+	// Unique variables differ between rows.
+	if tab.Rows[0][c] == tab.Rows[1][a] {
+		t.Error("unique variables should be distinct")
+	}
+	if !strings.Contains(tab.String(), "b'") {
+		t.Error("String should show shared variables")
+	}
+}
+
+func TestNewPanicsOnBadTarget(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab")
+	u.Attr("z")
+	defer func() {
+		if recover() == nil {
+			t.Error("X ⊄ U(D) should panic")
+		}
+	}()
+	New(d, u.Set("z"))
+}
+
+func TestContainmentBasics(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	x := u.Set("a", "b", "c")
+	tab := New(d, x)
+	// The subtableau {abc} absorbs everything: rows ab and bc map onto
+	// row abc (all their variables are distinguished on their schema).
+	sub := tab.Without(1, 2)
+	if !Contains(tab, sub) {
+		t.Error("rows ab, bc should map into row abc")
+	}
+	if !Contains(sub, tab) {
+		t.Error("subtableau trivially maps into its supertableau")
+	}
+	if !Equivalent(tab, sub) {
+		t.Error("equivalence expected")
+	}
+	// But {ab, bc} cannot absorb row abc: no row has all three
+	// distinguished variables.
+	sub2 := tab.Without(0)
+	if Contains(tab, sub2) {
+		t.Error("row abc must not map into {ab, bc}")
+	}
+}
+
+func TestMinimizeSection51(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	x := d.Attrs()
+	min := New(d, x).Minimize()
+	if min.NumRows() != 1 {
+		t.Fatalf("minimal tableau rows = %d, want 1", min.NumRows())
+	}
+	if min.RowOrigin[0] != 0 {
+		t.Errorf("surviving row should be abc (origin 0), got %d", min.RowOrigin[0])
+	}
+	cc := CanonicalSchema(min)
+	if cc.String() != "(abc)" {
+		t.Errorf("CC = %s, want (abc)", cc)
+	}
+}
+
+// TestSection6Example reproduces the §6 worked example:
+// D = (abg, bcg, acf, ad, de, ea), Q = (D, abc). CC(D, abc) must be
+// (abg, bcg, ac): relations ad, de, ea are irrelevant and the f column
+// is projected out.
+func TestSection6Example(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abg, bcg, acf, ad, de, ea")
+	x := u.Set("a", "b", "c")
+	cc := CCGeneric(d, x)
+	want := parse(t, u, "abg, bcg, ac")
+	if !cc.SetEqual(want) {
+		t.Fatalf("CC(D, abc) = %s, want %s", cc, want)
+	}
+	// D is cyclic (ad—de—ea ring), so this exercised true minimization.
+	if gyo.IsTree(d) {
+		t.Error("example schema should be cyclic")
+	}
+	// CC must also be ≤ GR(D, X) (Theorem 3.3(i)).
+	gr := gyo.Reduce(d, x).GR
+	if !cc.LE(gr) {
+		t.Errorf("CC = %s ⊀ GR = %s", cc, gr)
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	u := schema.NewUniverse()
+	d1 := parse(t, u, "ab, bc")
+	d2 := parse(t, u, "bc, ab") // same rows, different order
+	x := u.Set("a", "c")
+	if !Isomorphic(New(d1, x), New(d2, x)) {
+		t.Error("reordered tableaux should be isomorphic")
+	}
+	d3 := parse(t, u, "ab, bc, ca")
+	if Isomorphic(New(d1, x), New(d3, x)) {
+		t.Error("different row counts cannot be isomorphic")
+	}
+	// Equivalent but not isomorphic: (abc) vs (abc, ab).
+	d4 := parse(t, u, "abc")
+	d5 := parse(t, u, "abc, ab")
+	x2 := u.Set("a", "b", "c")
+	if !Equivalent(New(d4, x2), New(d5, x2)) {
+		t.Error("should be equivalent")
+	}
+	if Isomorphic(New(d4, x2), New(d5, x2)) {
+		t.Error("should not be isomorphic")
+	}
+}
+
+// TestLemma34 verifies: two minimal tableaux for the same query are
+// isomorphic — via randomized row-order shuffles.
+func TestLemma34(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.5)
+		m1 := New(d, x).Minimize()
+		// Shuffle relation order, re-minimize.
+		perm := rng.Perm(len(d.Rels))
+		d2 := d.Restrict(perm)
+		m2 := New(d2, x).Minimize()
+		if m1.NumRows() != m2.NumRows() {
+			t.Fatalf("minimal sizes differ: %d vs %d for %s", m1.NumRows(), m2.NumRows(), d)
+		}
+		if !Isomorphic(m1, m2) {
+			t.Fatalf("minimal tableaux not isomorphic for %s", d)
+		}
+		// Lemma 3.3(i): isomorphic tableaux have equal canonical schemas.
+		if !CanonicalSchema(m1).SetEqual(CanonicalSchema(m2)) {
+			t.Fatalf("CS differs across isomorphic minima for %s", d)
+		}
+	}
+}
+
+// TestTheorem33TreeFastPath: on tree schemas CC(D,X) = GR(D,X)
+// (Theorem 3.3(ii)) — the generic tableau route must agree with the
+// GYO route.
+func TestTheorem33TreeFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		d := gen.TreeSchema(rng, 1+rng.Intn(5), 2, 2)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.5)
+		generic := CCGeneric(d, x)
+		viaGR := CC(d, x) // takes the fast path
+		if !generic.SetEqual(viaGR) {
+			t.Fatalf("CC mismatch on tree schema %s X=%s: generic=%s gr=%s",
+				d, d.U.FormatSet(x), generic, viaGR)
+		}
+	}
+}
+
+// TestTheorem33i: CC(D, X) ≤ GR(D, X) for arbitrary schemas.
+func TestTheorem33i(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.4)
+		cc := CCGeneric(d, x)
+		gr := gyo.Reduce(d, x).GR
+		if !cc.LE(gr) {
+			t.Fatalf("CC(%s, %s) = %s ⊀ GR = %s", d, d.U.FormatSet(x), cc, gr)
+		}
+	}
+}
+
+// TestTheorem33iii: if ∪GR(D,X) ⊆ X then CC(D,X) = GR(D,X).
+func TestTheorem33iii(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 25; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.6)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.7)
+		gr := gyo.Reduce(d, x).GR
+		if !gr.Attrs().SubsetOf(x) {
+			continue
+		}
+		checked++
+		cc := CCGeneric(d, x)
+		if !cc.SetEqual(gr.Reduce()) {
+			t.Fatalf("Theorem 3.3(iii) failed: D=%s X=%s CC=%s GR=%s",
+				d, d.U.FormatSet(x), cc, gr)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d qualifying cases", checked)
+	}
+}
+
+// TestLemma35 via Theorem 4.1 machinery: (D,X) ≡ (D′,X) iff
+// CC(D,X) = CC(D′,X), exercised with D′ = CC(D, X) itself, which the
+// paper proves equivalent ((i) ⇒ (ii) of Theorem 4.1).
+func TestLemma35SelfCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.5)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.5)
+		cc := CCGeneric(d, x)
+		if cc.Len() == 0 {
+			continue
+		}
+		if !x.SubsetOf(cc.Attrs()) {
+			// (CC, X) would be ill-formed; skip (can happen when X has
+			// attributes occurring in no minimal row — e.g. X = ∅ cases).
+			continue
+		}
+		if !QueriesEquivalent(d, cc, x) {
+			t.Fatalf("(D,X) ≢ (CC,X): D=%s CC=%s X=%s", d, cc, d.U.FormatSet(x))
+		}
+		cc2 := CCGeneric(cc, x)
+		if !cc2.SetEqual(cc) {
+			t.Fatalf("CC not idempotent: CC=%s CC(CC)=%s", cc, cc2)
+		}
+	}
+}
+
+func TestQueryContainedDirection(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "abc, ab, bc")
+	dp := parse(t, u, "ab, bc")
+	x := u.Set("a", "b", "c")
+	// Tab(D,X) → Tab(D′,X) exists iff Q′ ⊆ Q; dropping the abc row
+	// loses that containment.
+	if QueryContained(d, dp, x) {
+		t.Error("Tab(D) should not map into Tab(D') here")
+	}
+	if !QueryContained(dp, d, x) {
+		t.Error("Tab(D') should map into Tab(D)")
+	}
+}
+
+func TestEmptyTableaux(t *testing.T) {
+	u := schema.NewUniverse()
+	u.Attr("a")
+	empty := &schema.Schema{U: u}
+	te := New(empty, schema.AttrSet{})
+	if te.NumRows() != 0 {
+		t.Error("empty schema should give empty tableau")
+	}
+	d := parse(t, u, "ab")
+	td := New(d, schema.AttrSet{})
+	if !Contains(te, td) {
+		t.Error("empty tableau maps into anything")
+	}
+	if Contains(td, te) {
+		t.Error("nonempty cannot map into empty")
+	}
+	if CanonicalSchema(te).Len() != 0 {
+		t.Error("CS of empty tableau should be empty")
+	}
+}
+
+func TestMinimizePreservesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(5), 2+rng.Intn(4), 0.5)
+		x := gen.RandomAttrSubset(rng, d.Attrs(), 0.5)
+		tab := New(d, x)
+		min := tab.Minimize()
+		if !Equivalent(tab, min) {
+			t.Fatalf("minimization broke equivalence for %s", d)
+		}
+		// No further row is removable.
+		for r := 0; r < min.NumRows(); r++ {
+			if Contains(min, min.Without(r)) {
+				t.Fatalf("minimal tableau still reducible for %s", d)
+			}
+		}
+	}
+}
+
+func TestContainmentPanicsAcrossUniverses(t *testing.T) {
+	u1, u2 := schema.NewUniverse(), schema.NewUniverse()
+	d1 := parse(t, u1, "ab")
+	d2 := parse(t, u2, "ab")
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-universe containment should panic")
+		}
+	}()
+	Contains(New(d1, schema.AttrSet{}), New(d2, schema.AttrSet{}))
+}

@@ -1,0 +1,327 @@
+// Package treefy implements the paper's §4 treefication machinery:
+// adding relation schemas to a cyclic schema to make it a tree schema.
+// Corollary 3.2 solves the single-relation case exactly (∪GR(D));
+// Theorem 4.2 proves the multi-relation "fixed treefication" decision
+// problem NP-complete by reduction from bin packing. This package
+// implements the reduction in both directions, exact bin-packing
+// solvers, and a brute-force treefication decider for cross-validation
+// on tiny instances.
+package treefy
+
+import (
+	"fmt"
+	"sort"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+// Instance is a fixed-treefication instance: may schemas R′₁…R′_K with
+// |R′ᵢ| ≤ B be added to D so that D ∪ (R′₁…R′_K) is a tree schema?
+type Instance struct {
+	D *schema.Schema
+	K int
+	B int
+}
+
+// FromBinPacking builds the Theorem 4.2 instance: one Aclique of size
+// s(i) per item, over pairwise disjoint attribute universes.
+// Item sizes must be ≥ 3 (an Aclique needs three attributes; the
+// theorem's w.l.o.g. assumption "each s(i) divisible by 3" covers
+// this).
+func FromBinPacking(bp gen.BinPackingInstance) (Instance, error) {
+	u := schema.NewUniverse()
+	d := &schema.Schema{U: u}
+	for i, s := range bp.Sizes {
+		if s < 3 {
+			return Instance{}, fmt.Errorf("treefy: item %d has size %d < 3", i, s)
+		}
+		cl := schema.Aclique(u, s, fmt.Sprintf("i%d_", i))
+		d.Rels = append(d.Rels, cl.Rels...)
+	}
+	return Instance{D: d, K: bp.K, B: bp.B}, nil
+}
+
+// ToBinPacking extracts the bin-packing instance from a treefication
+// instance whose GR(D) splits into connected components: item sizes
+// are the attribute counts of the components. This inverts
+// FromBinPacking (each disjoint Aclique is one GYO-irreducible
+// component), implementing the (⇒) direction of the Theorem 4.2 proof.
+func ToBinPacking(inst Instance) gen.BinPackingInstance {
+	gr := gyo.ReduceFull(inst.D).GR
+	var sizes []int
+	for _, comp := range gr.Components() {
+		var attrs schema.AttrSet
+		for _, i := range comp {
+			attrs = attrs.Union(gr.Rels[i])
+		}
+		sizes = append(sizes, attrs.Card())
+	}
+	sort.Ints(sizes)
+	return gen.BinPackingInstance{Sizes: sizes, K: inst.K, B: inst.B}
+}
+
+// DecideViaBinPacking decides a fixed-treefication instance from the
+// Theorem 4.2 family (disjoint GYO-irreducible components, each of
+// which must be swallowed whole by one added relation) by solving the
+// extracted bin-packing instance exactly. For instances outside that
+// family the answer is only an upper-bound certificate: use Solve to
+// also obtain the witness relations.
+func DecideViaBinPacking(inst Instance) bool {
+	bp := ToBinPacking(inst)
+	_, ok := SolveBinPacking(bp)
+	return ok
+}
+
+// Solve decides the instance and, when satisfiable, returns witness
+// relations (the attribute sets of GR(D)'s components grouped by the
+// bin-packing assignment, as in the proof's (⇐) direction).
+func Solve(inst Instance) (witness []schema.AttrSet, ok bool) {
+	gr := gyo.ReduceFull(inst.D).GR
+	comps := gr.Components()
+	if len(comps) == 0 {
+		return nil, true // already a tree schema; add nothing
+	}
+	attrSets := make([]schema.AttrSet, len(comps))
+	sizes := make([]int, len(comps))
+	for i, comp := range comps {
+		var attrs schema.AttrSet
+		for _, j := range comp {
+			attrs = attrs.Union(gr.Rels[j])
+		}
+		attrSets[i] = attrs
+		sizes[i] = attrs.Card()
+	}
+	assign, ok := SolveBinPacking(gen.BinPackingInstance{Sizes: sizes, K: inst.K, B: inst.B})
+	if !ok {
+		return nil, false
+	}
+	byBin := make(map[int]schema.AttrSet)
+	for item, bin := range assign {
+		cur, exists := byBin[bin]
+		if !exists {
+			cur = schema.NewAttrSet()
+		}
+		byBin[bin] = cur.Union(attrSets[item])
+	}
+	for _, s := range byBin {
+		witness = append(witness, s)
+	}
+	schema.SortSets(witness)
+	// Verify: the witness must treefy D (sound by construction, but
+	// check anyway).
+	aug := inst.D.Clone()
+	for _, s := range witness {
+		aug.Add(s)
+	}
+	if !gyo.IsTree(aug) {
+		panic("treefy: internal: witness does not treefy D")
+	}
+	return witness, true
+}
+
+// SolveBinPacking decides whether the items fit into K bins of
+// capacity B and returns an item→bin assignment when they do. Exact:
+// subset-sum DP over item masks for n ≤ 20, branch and bound beyond.
+func SolveBinPacking(bp gen.BinPackingInstance) (assign []int, ok bool) {
+	n := len(bp.Sizes)
+	if n == 0 {
+		return nil, true
+	}
+	if bp.K <= 0 {
+		return nil, false
+	}
+	for _, s := range bp.Sizes {
+		if s > bp.B {
+			return nil, false
+		}
+	}
+	if n <= 20 {
+		return binPackDP(bp)
+	}
+	return binPackBB(bp)
+}
+
+// binPackDP: minBins[mask] = fewest bins packing exactly the items of
+// mask; transitions enumerate submasks that fit in one bin.
+func binPackDP(bp gen.BinPackingInstance) ([]int, bool) {
+	n := len(bp.Sizes)
+	full := 1<<n - 1
+	sum := make([]int, full+1)
+	for mask := 1; mask <= full; mask++ {
+		low := mask & (-mask)
+		i := trailingZeros(low)
+		sum[mask] = sum[mask^low] + bp.Sizes[i]
+	}
+	const inf = 1 << 30
+	minBins := make([]int, full+1)
+	choice := make([]int, full+1) // the one-bin submask used
+	for mask := 1; mask <= full; mask++ {
+		minBins[mask] = inf
+		// Enumerate submasks containing the lowest set item (canonical).
+		low := mask & (-mask)
+		rest := mask ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			bin := sub | low
+			if sum[bin] <= bp.B && minBins[mask^bin]+1 < minBins[mask] {
+				minBins[mask] = minBins[mask^bin] + 1
+				choice[mask] = bin
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	if minBins[full] > bp.K {
+		return nil, false
+	}
+	assign := make([]int, n)
+	bin := 0
+	for mask := full; mask != 0; {
+		c := choice[mask]
+		for i := 0; i < n; i++ {
+			if c&(1<<i) != 0 {
+				assign[i] = bin
+			}
+		}
+		bin++
+		mask ^= c
+	}
+	return assign, true
+}
+
+// binPackBB: branch and bound with first-fit over bins, items sorted
+// decreasing. Exact but exponential; used only for n > 20.
+func binPackBB(bp gen.BinPackingInstance) ([]int, bool) {
+	n := len(bp.Sizes)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return bp.Sizes[idx[a]] > bp.Sizes[idx[b]] })
+	loads := make([]int, bp.K)
+	assign := make([]int, n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return true
+		}
+		it := idx[k]
+		seen := map[int]bool{} // skip bins with identical load (symmetry)
+		for b := 0; b < bp.K; b++ {
+			if seen[loads[b]] {
+				continue
+			}
+			seen[loads[b]] = true
+			if loads[b]+bp.Sizes[it] > bp.B {
+				continue
+			}
+			loads[b] += bp.Sizes[it]
+			assign[it] = b
+			if rec(k + 1) {
+				return true
+			}
+			loads[b] -= bp.Sizes[it]
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// FirstFitDecreasing is the classical 11/9·OPT+1 heuristic; it returns
+// the number of bins used (capacity B) and the assignment.
+func FirstFitDecreasing(sizes []int, b int) (bins int, assign []int) {
+	n := len(sizes)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool { return sizes[idx[a]] > sizes[idx[c]] })
+	assign = make([]int, n)
+	var loads []int
+	for _, it := range idx {
+		placed := false
+		for bi := range loads {
+			if loads[bi]+sizes[it] <= b {
+				loads[bi] += sizes[it]
+				assign[it] = bi
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			loads = append(loads, sizes[it])
+			assign[it] = len(loads) - 1
+		}
+	}
+	return len(loads), assign
+}
+
+// BruteForce decides fixed treefication exactly by enumerating every
+// multiset of K attribute subsets of ∪GR(D) with cardinality ≤ B.
+// Doubly exponential; for cross-validating Solve on tiny instances
+// (|∪GR(D)| ≤ 10, K ≤ 2).
+func BruteForce(inst Instance) bool {
+	gr := gyo.ReduceFull(inst.D).GR
+	if gr.Attrs().IsEmpty() {
+		return true
+	}
+	attrs := gr.Attrs().Attrs()
+	if len(attrs) > 12 {
+		panic("treefy: BruteForce limited to |∪GR(D)| ≤ 12")
+	}
+	// Candidate added relations: subsets of ∪GR(D) with |S| ≤ B.
+	// (Theorem 3.2(iii) implies added relations may be restricted to
+	// attributes of ∪GR(D): attributes outside it are deletable first.)
+	var cands []schema.AttrSet
+	for mask := 1; mask < 1<<len(attrs); mask++ {
+		if popcount(mask) > inst.B {
+			continue
+		}
+		s := schema.NewAttrSet()
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				s = s.Add(a)
+			}
+		}
+		cands = append(cands, s)
+	}
+	var rec func(k int, from int, cur *schema.Schema) bool
+	rec = func(k, from int, cur *schema.Schema) bool {
+		if gyo.IsTree(cur) {
+			return true
+		}
+		if k == 0 {
+			return false
+		}
+		for i := from; i < len(cands); i++ {
+			if rec(k-1, i, cur.WithRel(cands[i])) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(inst.K, 0, inst.D)
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func trailingZeros(x int) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+// Package treeproj implements tree projections (paper §3.2): D″ is a
+// tree projection of D′ with respect to D, written D″ ∈ TP(D′, D),
+// when D ≤ D″ ≤ D′ and D″ is a tree schema. Tree projections are the
+// crux of join/semijoin/project query processing (Theorems 6.1–6.4).
+//
+// Verifying membership is cheap; deciding existence is intractable in
+// general (the closely related fixed-treefication problem is proved
+// NP-complete by the paper's Theorem 4.2, and tree projection existence
+// itself is NP-hard). Exists therefore runs an exact search over a
+// finite candidate-bag pool. The default pool (members of D, members
+// of D′, and pairwise intersections of D′ members) suffices for every
+// construction appearing in the paper — in particular D″ drawn from
+// the relations materialized by a program P (Theorems 6.1–6.4) and the
+// §3.2 worked example — but a "not found" answer is definitive only
+// relative to the pool, which FindResult reports.
+package treeproj
+
+import (
+	"sort"
+
+	"gyokit/internal/gyo"
+	"gyokit/internal/schema"
+)
+
+// IsTreeProjection reports whether dpp ∈ TP(dprime, d):
+// D ≤ D″, D″ ≤ D′, and D″ is a tree schema.
+func IsTreeProjection(dpp, dprime, d *schema.Schema) bool {
+	return d.LE(dpp) && dpp.LE(dprime) && gyo.IsTree(dpp)
+}
+
+// IsTreeProjectionWrtQuery reports D″ ∈ TP(D′, Q) for Q = (D, X):
+// per §3.2 this is D″ ∈ TP(D′, D ∪ (X)).
+func IsTreeProjectionWrtQuery(dpp, dprime, d *schema.Schema, x schema.AttrSet) bool {
+	return IsTreeProjection(dpp, dprime, d.WithRel(x))
+}
+
+// Result reports the outcome of a tree-projection search.
+type Result struct {
+	Found bool
+	// TP is a witness tree projection when Found.
+	TP *schema.Schema
+	// PoolSize is the number of candidate bags considered; a negative
+	// answer is exhaustive over this pool only.
+	PoolSize int
+}
+
+// Exists searches for a tree projection of dprime wrt d using the
+// default candidate pool. See the package comment for the pool's
+// completeness caveat.
+func Exists(dprime, d *schema.Schema) Result {
+	return FindWithinPool(DefaultPool(dprime, d), dprime, d)
+}
+
+// ExistsWrtQuery searches for D″ ∈ TP(D′, (D, X)).
+func ExistsWrtQuery(dprime, d *schema.Schema, x schema.AttrSet) Result {
+	return Exists(dprime, d.WithRel(x))
+}
+
+// DefaultPool builds the candidate bag pool: every member of D and D′
+// that fits under some member of D′, plus all pairwise intersections
+// of D′ members. Duplicates are removed.
+func DefaultPool(dprime, d *schema.Schema) []schema.AttrSet {
+	var raw []schema.AttrSet
+	raw = append(raw, dprime.Rels...)
+	raw = append(raw, d.Rels...)
+	for i := 0; i < len(dprime.Rels); i++ {
+		for j := i + 1; j < len(dprime.Rels); j++ {
+			raw = append(raw, dprime.Rels[i].Intersect(dprime.Rels[j]))
+		}
+	}
+	seen := map[string]bool{}
+	var pool []schema.AttrSet
+	for _, s := range raw {
+		if s.IsEmpty() {
+			continue
+		}
+		// Must fit under D′ to be usable at all.
+		ok := false
+		for _, r := range dprime.Rels {
+			if s.SubsetOf(r) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			pool = append(pool, s.Clone())
+		}
+	}
+	schema.SortSets(pool)
+	return pool
+}
+
+// FindWithinPool searches exhaustively for a tree projection whose
+// relation schemas are drawn from pool. The search is exact over the
+// pool: if any sub-multiset of pool forms a tree projection, one is
+// found. Exponential in len(pool); intended for pools of ≲ 25 bags.
+func FindWithinPool(pool []schema.AttrSet, dprime, d *schema.Schema) Result {
+	res := Result{PoolSize: len(pool)}
+	// Every bag must fit under D′ (DefaultPool guarantees it; caller
+	// pools might not).
+	var usable []schema.AttrSet
+	for _, s := range pool {
+		for _, r := range dprime.Rels {
+			if s.SubsetOf(r) {
+				usable = append(usable, s)
+				break
+			}
+		}
+	}
+	// Prefer larger bags first: they cover more of D per bag, which
+	// finds witnesses faster and yields small schemas.
+	sort.Slice(usable, func(i, j int) bool { return usable[i].Card() > usable[j].Card() })
+
+	// Each member of D must fit under some chosen bag. Branch over the
+	// uncovered member with the fewest options.
+	n := len(usable)
+	coverOptions := make([][]int, len(d.Rels))
+	for i, r := range d.Rels {
+		for b := 0; b < n; b++ {
+			if r.SubsetOf(usable[b]) {
+				coverOptions[i] = append(coverOptions[i], b)
+			}
+		}
+		if len(coverOptions[i]) == 0 {
+			return res // some member of D cannot be covered at all
+		}
+	}
+	chosen := make([]bool, n)
+	seen := map[string]bool{}
+	var current []schema.AttrSet
+
+	var try func() *schema.Schema
+	try = func() *schema.Schema {
+		// Find an uncovered member of D with the fewest usable bags.
+		best, bestOpts := -1, 0
+		for i, r := range d.Rels {
+			covered := false
+			for bi, ok := range chosen {
+				if ok && r.SubsetOf(usable[bi]) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			if best == -1 || len(coverOptions[i]) < bestOpts {
+				best, bestOpts = i, len(coverOptions[i])
+			}
+		}
+		if best == -1 {
+			// Full cover: is the chosen multiset a tree schema?
+			cand := schema.New(d.U, current...)
+			key := cand.Key()
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			if gyo.IsTree(cand) {
+				return cand
+			}
+			// Allow gluing: extend with additional unchosen bags, one at
+			// a time, re-testing tree-ness. This finds witnesses such as
+			// the paper's §3.2 example where connector bags beyond the
+			// covering set are required.
+			for b := 0; b < n; b++ {
+				if chosen[b] {
+					continue
+				}
+				chosen[b] = true
+				current = append(current, usable[b])
+				if w := try(); w != nil {
+					return w
+				}
+				current = current[:len(current)-1]
+				chosen[b] = false
+			}
+			return nil
+		}
+		for _, b := range coverOptions[best] {
+			if chosen[b] {
+				continue
+			}
+			chosen[b] = true
+			current = append(current, usable[b])
+			if w := try(); w != nil {
+				return w
+			}
+			current = current[:len(current)-1]
+			chosen[b] = false
+		}
+		return nil
+	}
+	if w := try(); w != nil {
+		if !IsTreeProjection(w, dprime, d) {
+			panic("treeproj: internal: witness fails verification")
+		}
+		res.Found = true
+		res.TP = w
+	}
+	return res
+}

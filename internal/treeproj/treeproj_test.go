@@ -1,0 +1,204 @@
+package treeproj
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/gen"
+	"gyokit/internal/gyo"
+	"gyokit/internal/qualgraph"
+	"gyokit/internal/schema"
+)
+
+func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
+	t.Helper()
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSection32Example reproduces the §3.2 worked example:
+// D the 8-ring, D″ = (ab, abch, cdgh, defg, ef) a tree projection of
+// D′ = (abef, abch, cdgh, defg, ef) wrt D; D and D′ both cyclic.
+func TestSection32Example(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc, cd, de, ef, fg, gh, ha")
+	dpp := parse(t, u, "ab, abch, cdgh, defg, ef")
+	dp := parse(t, u, "abef, abch, cdgh, defg, ef")
+
+	if !d.LE(dpp) || !dpp.LE(dp) {
+		t.Fatal("D ≤ D″ ≤ D′ violated")
+	}
+	if !gyo.IsTree(dpp) {
+		t.Fatal("D″ should be a tree schema")
+	}
+	if gyo.IsTree(d) || gyo.IsTree(dp) {
+		t.Fatal("D and D′ should be cyclic")
+	}
+	if !IsTreeProjection(dpp, dp, d) {
+		t.Error("D″ ∈ TP(D′, D) rejected")
+	}
+	// The figure's qual tree: ab—abch—cdgh—defg—ef.
+	tr, ok := qualgraph.QualTree(dpp)
+	if !ok {
+		t.Fatal("no qual tree for D″")
+	}
+	if !tr.IsTree() {
+		t.Fatal("qual graph is not a tree")
+	}
+	// And the search must find some tree projection within the pool.
+	res := Exists(dp, d)
+	if !res.Found {
+		t.Fatal("Exists failed to find a tree projection")
+	}
+	if !IsTreeProjection(res.TP, dp, d) {
+		t.Fatalf("found witness %s is not a tree projection", res.TP)
+	}
+}
+
+func TestIsTreeProjectionRejections(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc, ca")
+	// The triangle is cyclic, so D itself is not a TP of D wrt D.
+	if IsTreeProjection(d, d, d) {
+		t.Error("cyclic D″ accepted")
+	}
+	// D ≤ D″ violated.
+	dpp := parse(t, u, "ab, bc")
+	full := parse(t, u, "abc")
+	if IsTreeProjection(dpp, full, d) {
+		t.Error("uncovering D″ accepted")
+	}
+	// D″ ≤ D′ violated.
+	if IsTreeProjection(full, dpp, d) {
+		t.Error("oversized D″ accepted")
+	}
+	// Valid: D″ = (abc) is a tree and sandwiches the triangle.
+	if !IsTreeProjection(full, full, d) {
+		t.Error("D″ = (abc) should be a tree projection")
+	}
+}
+
+func TestExistsTrivialCases(t *testing.T) {
+	u := schema.NewUniverse()
+	// D′ = D a tree schema: D itself is the witness.
+	d := parse(t, u, "ab, bc, cd")
+	res := Exists(d, d)
+	if !res.Found {
+		t.Fatal("tree D should yield a tree projection of itself")
+	}
+	// Triangle with D′ = triangle: no tree projection exists at all
+	// (any D″ ≤ D′ covering D keeps the cycle; the pool here is also
+	// exhaustive for subsets that matter).
+	tri := parse(t, u, "ab, bc, ca")
+	res2 := Exists(tri, tri)
+	if res2.Found {
+		t.Errorf("triangle should have no tree projection within itself, got %s", res2.TP)
+	}
+	// Triangle with D′ = (abc): the single relation is a witness.
+	res3 := Exists(parse(t, u, "abc"), tri)
+	if !res3.Found {
+		t.Error("D′ = (abc) should cover the triangle")
+	}
+}
+
+func TestExistsWrtQuery(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	x := u.Set("a", "c")
+	// D′ = (abc): covers D and the target relation (X).
+	res := ExistsWrtQuery(parse(t, u, "abc"), d, x)
+	if !res.Found {
+		t.Fatal("tree projection wrt query should exist")
+	}
+	if !IsTreeProjectionWrtQuery(res.TP, parse(t, u, "abc"), d, x) {
+		t.Error("witness rejected by verifier")
+	}
+	// D′ = D: X = ac fits under no member of D′ — no projection.
+	res2 := ExistsWrtQuery(d, d, x)
+	if res2.Found {
+		t.Error("no member of D′ can cover the target ac")
+	}
+}
+
+// TestExistsAgainstTreeSchemas: for tree schemas, a tree projection of
+// D wrt D always exists (D itself); for Arings/Acliques wrt themselves
+// never (deleting attributes cannot break their cycles without
+// uncovering D).
+func TestExistsAgainstTreeSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		d := gen.TreeSchema(rng, 1+rng.Intn(5), 2, 2)
+		res := Exists(d, d)
+		if !res.Found {
+			t.Fatalf("tree schema %s: no self tree projection", d)
+		}
+	}
+	for n := 3; n <= 5; n++ {
+		if res := Exists(gen.Ring(n), gen.Ring(n)); res.Found {
+			t.Errorf("Aring(%d) wrt itself should have no tree projection", n)
+		}
+		if res := Exists(gen.Clique(n), gen.Clique(n)); res.Found {
+			t.Errorf("Aclique(%d) wrt itself should have no tree projection", n)
+		}
+	}
+}
+
+// TestWitnessesAlwaysVerify: every witness returned by the search
+// passes the membership predicate.
+func TestWitnessesAlwaysVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	found := 0
+	for trial := 0; trial < 60; trial++ {
+		d := gen.RandomSchema(rng, 2+rng.Intn(3), 2+rng.Intn(4), 0.5)
+		// D′: D plus a few random unions — gives the search something
+		// to work with.
+		dp := d.Clone()
+		for k := 0; k < 2; k++ {
+			i, j := rng.Intn(len(d.Rels)), rng.Intn(len(d.Rels))
+			dp.Add(d.Rels[i].Union(d.Rels[j]))
+		}
+		res := Exists(dp, d)
+		if res.Found {
+			found++
+			if !IsTreeProjection(res.TP, dp, d) {
+				t.Fatalf("bogus witness %s for D=%s D'=%s", res.TP, d, dp)
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("too few witnesses exercised: %d", found)
+	}
+}
+
+func TestDefaultPoolProperties(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	dp := parse(t, u, "abc, bcd")
+	pool := DefaultPool(dp, d)
+	seen := map[string]bool{}
+	for _, s := range pool {
+		if s.IsEmpty() {
+			t.Error("empty bag in pool")
+		}
+		if seen[s.Key()] {
+			t.Error("duplicate bag in pool")
+		}
+		seen[s.Key()] = true
+		fits := false
+		for _, r := range dp.Rels {
+			if s.SubsetOf(r) {
+				fits = true
+			}
+		}
+		if !fits {
+			t.Errorf("pool bag %s does not fit under D′", u.FormatSet(s))
+		}
+	}
+	// The intersection bc = abc ∩ bcd must be present.
+	if !seen[u.Set("b", "c").Key()] {
+		t.Error("pairwise intersection missing from pool")
+	}
+}
