@@ -143,7 +143,7 @@ func evalBenchSetup(tuples int) (*schema.Schema, schema.AttrSet, *relation.Datab
 	d := gen.Chain(5)
 	attrs := d.Attrs().Attrs()
 	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
-	i := relation.RandomUniversal(d.U, d.Attrs(), tuples, 8, gen.RNG(int64(tuples)))
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, 8, gen.RNG(int64(tuples)))
 	return d, x, relation.URDatabase(d, i)
 }
 
@@ -200,6 +200,31 @@ func BenchmarkEvalYannakakis(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEvalYannakakisLarge runs the full semijoin program at the
+// scale the columnar engine is built for (10k universal tuples): full
+// reducer plus bottom-up join, one Exec, no per-statement allocation.
+func BenchmarkEvalYannakakisLarge(b *testing.B) {
+	d := gen.Chain(5)
+	attrs := d.Attrs().Attrs()
+	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 10000, 64, gen.RNG(10000))
+	db := relation.URDatabase(d, i)
+	tr, ok := qualgraph.QualTree(d)
+	if !ok {
+		b.Fatal("chain rejected")
+	}
+	plan, err := program.Yannakakis(d, x, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, _, err := plan.Eval(db); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -350,7 +375,7 @@ func BenchmarkEvalCyclicStrategy(b *testing.B) {
 	ringEdge := d.Rels[0].Attrs()
 	lastTail := d.Rels[len(d.Rels)-1].Attrs()
 	x := schema.NewAttrSet(ringEdge[0], lastTail[len(lastTail)-1])
-	i := relation.RandomUniversal(d.U, d.Attrs(), 30, 6, gen.RNG(5))
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 30, 6, gen.RNG(5))
 	db := relation.URDatabase(d, i)
 	plan, err := program.CyclicPlan(d, x)
 	if err != nil {
@@ -369,7 +394,7 @@ func BenchmarkEvalNaiveOnCyclic(b *testing.B) {
 	ringEdge := d.Rels[0].Attrs()
 	lastTail := d.Rels[len(d.Rels)-1].Attrs()
 	x := schema.NewAttrSet(ringEdge[0], lastTail[len(lastTail)-1])
-	i := relation.RandomUniversal(d.U, d.Attrs(), 30, 6, gen.RNG(5))
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 30, 6, gen.RNG(5))
 	db := relation.URDatabase(d, i)
 	plan, err := program.NaivePlan(d, x)
 	if err != nil {
@@ -439,7 +464,7 @@ func shuffledChain() (*schema.Schema, schema.AttrSet, *relation.Database, []prog
 	d := base.Restrict(perm)
 	attrs := d.Attrs().Attrs()
 	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
-	i := relation.RandomUniversal(d.U, d.Attrs(), 60, 6, gen.RNG(9))
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 60, 6, gen.RNG(9))
 	db := relation.URDatabase(d, i)
 	inputs := make([]program.InputRef, len(d.Rels))
 	for k := range inputs {

@@ -7,6 +7,7 @@
 //	gyobench              run everything
 //	gyobench -run sec6    run one experiment by id
 //	gyobench -list        list experiment ids
+//	gyobench -time        print per-experiment wall time
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 func main() {
 	run := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
+	timed := flag.Bool("time", false, "print per-experiment wall time")
 	flag.Parse()
 
 	if *list {
@@ -34,14 +36,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gyobench: unknown experiment %q (try -list)\n", *run)
 			os.Exit(2)
 		}
-		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout); err != nil {
+		if err := exp.RunOne(e, os.Stdout, *timed); err != nil {
 			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := exp.RunAll(os.Stdout); err != nil {
+	if err := exp.RunAllTimed(os.Stdout, *timed); err != nil {
 		fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
 		os.Exit(1)
 	}

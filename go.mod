@@ -1,0 +1,3 @@
+module gyokit
+
+go 1.24

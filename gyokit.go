@@ -32,6 +32,20 @@
 // fixed treefication) use exact exponential algorithms with documented
 // input bounds, plus the polynomial special cases the paper proves for
 // tree schemas.
+//
+// # Execution engine
+//
+// Relation states are backed by a columnar engine (internal/relation):
+// tuples live in one flat []Value arena with width-strided access, and
+// every set-semantics index, join hash table, and semijoin key set is
+// an open-addressing table over 64-bit integer hashes with full
+// collision verification — no string keys are materialized on any hot
+// path. A reusable Exec context carries the scratch buffers and hash
+// tables across the statements of a program run, so Program.Eval
+// evaluates a whole §6 statement sequence without per-statement
+// re-allocation. Eval returns Stats with per-statement tuples-in /
+// tuples-out and wall time (Stats.Detail, Stats.Table), turning the
+// paper's §6 cost analyses into observable numbers.
 package gyokit
 
 import (
@@ -74,6 +88,13 @@ type (
 	Relation = relation.Relation
 	// Database is a database state for a schema.
 	Database = relation.Database
+	// Exec is a reusable relational execution context: one Exec
+	// amortizes hash tables and scratch buffers across operator calls.
+	Exec = relation.Exec
+	// Stats is the cost report of a Program.Eval run.
+	Stats = program.Stats
+	// StmtStat is one statement's observed cost within Stats.
+	StmtStat = program.StmtStat
 	// Tableau is a query tableau (§3.4).
 	Tableau = tableau.Tableau
 )
@@ -96,6 +117,9 @@ type (
 
 // NewUniverse returns an empty attribute universe.
 func NewUniverse() *Universe { return schema.NewUniverse() }
+
+// NewExec returns a fresh relational execution context.
+func NewExec() *Exec { return relation.NewExec() }
 
 // NewSchema returns a schema over u with the given relation schemas.
 func NewSchema(u *Universe, rels ...AttrSet) *Schema { return schema.New(u, rels...) }
@@ -185,10 +209,12 @@ func Treefy(d *Schema, k, b int) (witness []AttrSet, ok bool) {
 	return treefy.Solve(treefy.Instance{D: d, K: k, B: b})
 }
 
-// RandomURDatabase builds a universal-relation database over d with n
-// universal tuples drawn from [0, domain) per column.
+// RandomURDatabase builds a universal-relation database over d with up
+// to n universal tuples drawn from [0, domain) per column; when fewer
+// than n distinct tuples exist the universal relation saturates below
+// n (see relation.RandomUniversal for the retry bound).
 func RandomURDatabase(d *Schema, n, domain int, seed int64) *Database {
 	rng := rand.New(rand.NewSource(seed))
-	i := relation.RandomUniversal(d.U, d.Attrs(), n, domain, rng)
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), n, domain, rng)
 	return relation.URDatabase(d, i)
 }

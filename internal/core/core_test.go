@@ -198,7 +198,7 @@ func TestTheorem62EndToEnd(t *testing.T) {
 			t.Fatalf("Yannakakis program lacks a tree projection on %s", d)
 		}
 		// And it really solves the query.
-		i := relation.RandomUniversal(d.U, d.Attrs(), 20, 3, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), 20, 3, rng)
 		db := relation.URDatabase(d, i)
 		got, _, err := plan.Eval(db)
 		if err != nil {

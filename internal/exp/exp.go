@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Experiment is one reproducible artifact.
@@ -39,13 +40,29 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// RunOne executes one experiment against w with the standard header,
+// reporting wall time when timed is set.
+func RunOne(e Experiment, w io.Writer, timed bool) error {
+	fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
+	start := time.Now()
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if timed {
+		fmt.Fprintf(w, "[%s took %v]\n", e.ID, time.Since(start))
+	}
+	return nil
+}
+
 // RunAll executes every experiment against w, stopping at the first
 // failure.
-func RunAll(w io.Writer) error {
+func RunAll(w io.Writer) error { return RunAllTimed(w, false) }
+
+// RunAllTimed is RunAll with optional per-experiment wall time.
+func RunAllTimed(w io.Writer, timed bool) error {
 	for _, e := range All() {
-		fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title)
-		if err := e.Run(w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		if err := RunOne(e, w, timed); err != nil {
+			return err
 		}
 		fmt.Fprintln(w)
 	}

@@ -21,6 +21,7 @@ func init() {
 	register(Experiment{ID: "perf4", Title: "Query evaluation: naive join vs CC-pruned vs Yannakakis", Run: runPerf4})
 	register(Experiment{ID: "perf5", Title: "Join-tree construction: MST vs GYO trace", Run: runPerf5})
 	register(Experiment{ID: "perf8", Title: "Cyclic strategy (§4): naive join vs treefy-then-Yannakakis", Run: runPerf8})
+	register(Experiment{ID: "perf9", Title: "§6 cost accounting: per-statement tuples in/out and wall time", Run: runPerf9})
 }
 
 func timeIt(f func()) time.Duration {
@@ -89,7 +90,7 @@ func runPerf4(w io.Writer) error {
 		// tail (relations past attrs[2]), so CC pruning is visible.
 		x := schema.NewAttrSet(attrs[0], attrs[2])
 		rng := rand.New(rand.NewSource(int64(tuples)))
-		i := relation.RandomUniversal(d.U, d.Attrs(), tuples, 8, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, 8, rng)
 		db := relation.URDatabase(d, i)
 
 		naive, err := program.NaivePlan(d, x)
@@ -126,6 +127,50 @@ func runPerf4(w io.Writer) error {
 			tuples, n, s1.MaxIntermediate, s2.MaxIntermediate, s3.MaxIntermediate)
 	}
 	fmt.Fprintln(w, "(all three plans return identical answers; Yannakakis bounds intermediates)")
+	return nil
+}
+
+// runPerf9: the §6 cost theorems as observable numbers. The Yannakakis
+// program over a chain schema is run at growing scale and its
+// per-statement breakdown printed: the semijoin (reducer) statements
+// must stay bounded by their inputs, while tuples produced grow only
+// linearly — the Theorem 6.1/6.4 behavior the columnar engine's
+// Stats.Detail makes directly visible.
+func runPerf9(w io.Writer) error {
+	d := gen.Chain(5)
+	attrs := d.Attrs().Attrs()
+	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
+	tr, ok := qualgraph.QualTree(d)
+	if !ok {
+		return fmt.Errorf("chain schema rejected as cyclic")
+	}
+	plan, err := program.Yannakakis(d, x, tr)
+	if err != nil {
+		return err
+	}
+	for _, tuples := range []int{200, 2000, 20000} {
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, 64, rand.New(rand.NewSource(int64(tuples))))
+		db := relation.URDatabase(d, i)
+		_, st, err := plan.Eval(db)
+		if err != nil {
+			return err
+		}
+		// Every semijoin must shrink (or keep) its left input, and the
+		// totals must be internally consistent.
+		sum := 0
+		for _, dt := range st.Detail {
+			if dt.Kind == program.Semijoin && dt.Out > dt.InLeft {
+				return fmt.Errorf("semijoin grew its input: %+v", dt)
+			}
+			sum += dt.Out
+		}
+		if sum != st.TuplesProduced {
+			return fmt.Errorf("Detail sums to %d, TuplesProduced %d", sum, st.TuplesProduced)
+		}
+		fmt.Fprintf(w, "--- Yannakakis on chain(5), %d universal tuples ---\n", tuples)
+		fmt.Fprint(w, st.Table())
+	}
+	fmt.Fprintln(w, "(semijoin statements never exceed their inputs: the §6 full-reducer bound)")
 	return nil
 }
 
@@ -167,7 +212,7 @@ func runPerf8(w io.Writer) error {
 			ringEdge := d.Rels[0].Attrs()
 			lastTail := d.Rels[len(d.Rels)-1].Attrs()
 			x := schema.NewAttrSet(ringEdge[0], lastTail[len(lastTail)-1])
-			i := relation.RandomUniversal(d.U, d.Attrs(), tuples, 6, rand.New(rand.NewSource(int64(n*tuples))))
+			i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, 6, rand.New(rand.NewSource(int64(n*tuples))))
 			db := relation.URDatabase(d, i)
 
 			naive, err := program.NaivePlan(d, x)

@@ -78,7 +78,7 @@ func runSec6(w io.Writer) error {
 	}
 	for seed := int64(0); seed < 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		i := relation.RandomUniversal(u, d.Attrs(), 40, 3, rng)
+		i, _ := relation.RandomUniversal(u, d.Attrs(), 40, 3, rng)
 		db := relation.URDatabase(d, i)
 		got, st, err := sol.Plan.Eval(db)
 		if err != nil {

@@ -60,7 +60,7 @@ func requireLE(d, dprime *schema.Schema) {
 // to find one proves nothing.
 func Falsify(d, dprime *schema.Schema, rng *rand.Rand, trials, tuples, domain int) (*relation.Relation, bool) {
 	for k := 0; k < trials; k++ {
-		i := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
 		db := relation.URDatabase(d, i)
 		j := relation.JoinAll(db.Rels)
 		if !relation.SatisfiesJD(j, d) {

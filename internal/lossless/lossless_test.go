@@ -157,7 +157,7 @@ func TestUJRTreeSchemas(t *testing.T) {
 	rng := rand.New(rand.NewSource(66))
 	for trial := 0; trial < 15; trial++ {
 		d := gen.TreeSchema(rng, 2+rng.Intn(3), 2, 2)
-		i := relation.RandomUniversal(d.U, d.Attrs(), 12, 3, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), 12, 3, rng)
 		db := relation.URDatabase(d, i)
 		if !IsUJR(db) {
 			t.Fatalf("UR database over tree schema %s not UJR", d)
@@ -176,7 +176,7 @@ func TestUJRCyclicCounterexample(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	found := false
 	for trial := 0; trial < 60 && !found; trial++ {
-		i := relation.RandomUniversal(d.U, d.Attrs(), 6, 2, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), 6, 2, rng)
 		db := relation.URDatabase(d, i)
 		if !IsUJR(db) {
 			found = true

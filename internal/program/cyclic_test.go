@@ -70,7 +70,8 @@ func TestCyclicPlanNonUR(t *testing.T) {
 	}
 	db := &relation.Database{D: d}
 	for _, r := range d.Rels {
-		db.Rels = append(db.Rels, relation.RandomUniversal(d.U, r, 12, 3, rng))
+		rr, _ := relation.RandomUniversal(d.U, r, 12, 3, rng)
+		db.Rels = append(db.Rels, rr)
 	}
 	got, _, err := p.Eval(db)
 	if err != nil {

@@ -10,6 +10,9 @@ package program
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"time"
 
 	"gyokit/internal/graph"
 	"gyokit/internal/relation"
@@ -128,18 +131,54 @@ func (p *Program) Validate() error {
 	return nil
 }
 
-// Stats records interpreter costs.
+// StmtStat is the observed cost of one statement: input and output
+// cardinalities plus wall time. InRight is −1 for projections, which
+// have a single operand.
+type StmtStat struct {
+	Kind    StmtKind
+	InLeft  int
+	InRight int
+	Out     int
+	Elapsed time.Duration
+}
+
+// Stats records interpreter costs. Detail holds one entry per
+// statement with tuples-in/tuples-out and wall time, making the §6
+// cost analyses (semijoin programs are cheap; intermediate joins
+// dominate) directly observable on real runs.
 type Stats struct {
-	TuplesProduced  int   // total output tuples over all statements
-	MaxIntermediate int   // largest single intermediate result
-	PerStmt         []int // output cardinality of each statement
+	TuplesProduced  int        // total output tuples over all statements
+	MaxIntermediate int        // largest single intermediate result
+	PerStmt         []int      // output cardinality of each statement
+	Detail          []StmtStat // per-statement cost breakdown
 	Joins           int
 	Projects        int
 	Semijoins       int
+	Elapsed         time.Duration // total wall time of the run
+}
+
+// Table renders the per-statement cost breakdown as an aligned text
+// table, one row per statement.
+func (st *Stats) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-9s %10s %10s %10s %14s\n", "#", "op", "in(L)", "in(R)", "out", "time")
+	for i, d := range st.Detail {
+		right := "-"
+		if d.InRight >= 0 {
+			right = strconv.Itoa(d.InRight)
+		}
+		fmt.Fprintf(&b, "%-4d %-9s %10d %10s %10d %14v\n", i, d.Kind, d.InLeft, right, d.Out, d.Elapsed)
+	}
+	fmt.Fprintf(&b, "total: %d tuples produced, max intermediate %d, %v\n",
+		st.TuplesProduced, st.MaxIntermediate, st.Elapsed)
+	return b.String()
 }
 
 // Eval runs the program over a database state for D and returns the
 // final relation (the last statement's value) plus cost statistics.
+// The whole statement sequence shares one relation.Exec, so hash
+// tables and scratch buffers are allocated once per run, not per
+// statement.
 func (p *Program) Eval(db *relation.Database) (*relation.Relation, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -153,26 +192,36 @@ func (p *Program) Eval(db *relation.Database) (*relation.Relation, *Stats, error
 	vals := make([]*relation.Relation, len(db.Rels), p.NumIDs())
 	copy(vals, db.Rels)
 	st := &Stats{}
+	ex := relation.NewExec()
+	start := time.Now()
 	for _, s := range p.Stmts {
 		var out *relation.Relation
+		d := StmtStat{Kind: s.Kind, InLeft: vals[s.Left].Card(), InRight: -1}
+		t0 := time.Now()
 		switch s.Kind {
 		case Join:
-			out = vals[s.Left].Join(vals[s.Right])
+			d.InRight = vals[s.Right].Card()
+			out = ex.Join(vals[s.Left], vals[s.Right])
 			st.Joins++
 		case Project:
-			out = vals[s.Left].Project(s.Proj)
+			out = ex.Project(vals[s.Left], s.Proj)
 			st.Projects++
 		case Semijoin:
-			out = vals[s.Left].Semijoin(vals[s.Right])
+			d.InRight = vals[s.Right].Card()
+			out = ex.Semijoin(vals[s.Left], vals[s.Right])
 			st.Semijoins++
 		}
+		d.Elapsed = time.Since(t0)
+		d.Out = out.Card()
 		vals = append(vals, out)
+		st.Detail = append(st.Detail, d)
 		st.PerStmt = append(st.PerStmt, out.Card())
 		st.TuplesProduced += out.Card()
 		if out.Card() > st.MaxIntermediate {
 			st.MaxIntermediate = out.Card()
 		}
 	}
+	st.Elapsed = time.Since(start)
 	return vals[len(vals)-1], st, nil
 }
 

@@ -23,7 +23,7 @@ func parse(t *testing.T, u *schema.Universe, s string) *schema.Schema {
 
 func urdb(d *schema.Schema, seed int64, tuples, domain int) *relation.Database {
 	rng := rand.New(rand.NewSource(seed))
-	i := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), tuples, domain, rng)
 	return relation.URDatabase(d, i)
 }
 
@@ -98,6 +98,25 @@ func TestEvalStats(t *testing.T) {
 	}
 	if len(st.PerStmt) != 2 || st.MaxIntermediate == 0 {
 		t.Errorf("per-stmt stats wrong: %+v", st)
+	}
+	if len(st.Detail) != 2 {
+		t.Fatalf("Detail has %d entries, want 2", len(st.Detail))
+	}
+	// Statement 0 is the join ab ⋈ bc, statement 1 the projection.
+	d0, d1 := st.Detail[0], st.Detail[1]
+	if d0.Kind != Join || d0.InLeft != db.Rels[0].Card() || d0.InRight != db.Rels[1].Card() {
+		t.Errorf("join detail wrong: %+v", d0)
+	}
+	if d1.Kind != Project || d1.InRight != -1 || d1.InLeft != d0.Out || d1.Out != res.Card() {
+		t.Errorf("project detail wrong: %+v", d1)
+	}
+	for i, d := range st.Detail {
+		if d.Out != st.PerStmt[i] {
+			t.Errorf("Detail[%d].Out = %d ≠ PerStmt %d", i, d.Out, st.PerStmt[i])
+		}
+	}
+	if st.Table() == "" {
+		t.Error("empty stats table")
 	}
 	// Eval on a mismatched database errors.
 	other := urdb(parse(t, u, "ab"), 2, 5, 3)
@@ -199,7 +218,7 @@ func TestFullReducerGlobalConsistency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		i := relation.RandomUniversal(d.U, d.Attrs(), 20, 3, rng)
+		i, _ := relation.RandomUniversal(d.U, d.Attrs(), 20, 3, rng)
 		db := relation.URDatabase(d, i)
 		// Interpret manually to extract all intermediate values.
 		vals := make([]*relation.Relation, len(db.Rels), p.NumIDs())
@@ -277,7 +296,8 @@ func TestYannakakisNonURDatabase(t *testing.T) {
 	// Independent random states per relation (not projections of one I).
 	db := &relation.Database{D: d}
 	for _, r := range d.Rels {
-		db.Rels = append(db.Rels, relation.RandomUniversal(u, r, 15, 3, rng))
+		rr, _ := relation.RandomUniversal(u, r, 15, 3, rng)
+		db.Rels = append(db.Rels, rr)
 	}
 	got, _, err := p.Eval(db)
 	if err != nil {

@@ -1,0 +1,313 @@
+package relation
+
+import (
+	"fmt"
+
+	"gyokit/internal/schema"
+)
+
+// Exec is a reusable execution context for the relational operators.
+// It owns the scratch state the operators need — open-addressing hash
+// tables, chain links, per-row key hashes, gather buffers, and column
+// position maps — so a program that evaluates many statements (a §6
+// semijoin program, a Yannakakis plan, a full reducer) reuses one set
+// of allocations instead of rebuilding them per statement. The zero
+// value is ready to use; an Exec must not be used concurrently.
+type Exec struct {
+	slots []int32 // open addressing: row index + 1; 0 = empty
+	next  []int32 // same-key chain: next row index + 1; 0 = end
+	keyh  []uint64
+	kbuf  []Value
+	obuf  []Value
+	posA  []int
+	posB  []int
+	srcs  []int32
+}
+
+// NewExec returns a fresh execution context.
+func NewExec() *Exec { return &Exec{} }
+
+// slotScratch returns e.slots resized to n and zeroed.
+func (e *Exec) slotScratch(n int) []int32 {
+	if cap(e.slots) < n {
+		e.slots = make([]int32, n)
+	} else {
+		e.slots = e.slots[:n]
+		clear(e.slots)
+	}
+	return e.slots
+}
+
+func int32Scratch(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func intScratch(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func valScratch(s []Value, n int) []Value {
+	if cap(s) < n {
+		return make([]Value, n)
+	}
+	return s[:n]
+}
+
+func uint64Scratch(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// Project returns π_x(r). x must be a subset of r's attributes.
+func (e *Exec) Project(r *Relation, x schema.AttrSet) *Relation {
+	if !x.SubsetOf(r.attrs) {
+		panic(fmt.Sprintf("relation: projection %s ⊄ %s",
+			r.U.FormatSet(x), r.U.FormatSet(r.attrs)))
+	}
+	out := New(r.U, x)
+	pos := intScratch(e.posA, out.width)
+	e.posA = pos
+	for i, c := range out.cols {
+		pos[i] = r.colPos(c)
+	}
+	buf := valScratch(e.obuf, out.width)
+	e.obuf = buf
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for k, p := range pos {
+			buf[k] = row[p]
+		}
+		out.insertHashed(buf, hashValues(buf))
+	}
+	return out
+}
+
+// keyEqual reports whether the key columns pos of row i of r equal key.
+func keyEqual(r *Relation, i int, pos []int, key []Value) bool {
+	row := r.row(i)
+	for k, p := range pos {
+		if row[p] != key[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the natural join r ⋈ s: a hash join on the shared
+// attributes (a cross product when none are shared). The smaller side
+// is built into a bucket-chained open-addressing table keyed by the
+// 64-bit hash of its shared columns; probe-side matches are verified
+// column-by-column, so hash collisions never produce wrong results.
+func (e *Exec) Join(r, s *Relation) *Relation {
+	build, probe := r, s
+	if s.n < r.n {
+		build, probe = s, r
+	}
+	shared := r.attrs.Intersect(s.attrs)
+	sharedCols := shared.Attrs()
+	bPos := intScratch(e.posA, len(sharedCols))
+	pPos := intScratch(e.posB, len(sharedCols))
+	e.posA, e.posB = bPos, pPos
+	for i, c := range sharedCols {
+		bPos[i] = build.colPos(c)
+		pPos[i] = probe.colPos(c)
+	}
+
+	// Build: distinct keys claim slots; rows sharing a key are chained
+	// through next (newest first).
+	nSlots := tableSize(build.n)
+	mask := uint64(nSlots - 1)
+	slots := e.slotScratch(nSlots)
+	next := int32Scratch(e.next, build.n)
+	e.next = next
+	keyh := uint64Scratch(e.keyh, build.n)
+	e.keyh = keyh
+	kbuf := valScratch(e.kbuf, len(sharedCols))
+	e.kbuf = kbuf
+	for i := 0; i < build.n; i++ {
+		row := build.row(i)
+		for k, p := range bPos {
+			kbuf[k] = row[p]
+		}
+		h := hashValues(kbuf)
+		keyh[i] = h
+		j := h & mask
+		for {
+			head := slots[j]
+			if head == 0 {
+				slots[j] = int32(i + 1)
+				next[i] = 0
+				break
+			}
+			if hi := int(head - 1); keyh[hi] == h && keyEqual(build, hi, bPos, kbuf) {
+				next[i] = head
+				slots[j] = int32(i + 1)
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+
+	out := New(r.U, r.attrs.Union(s.attrs))
+	// Output column sources: from probe where present, else from build.
+	// srcs[k] ≥ 0 is a probe column; srcs[k] < 0 is build column ^srcs[k].
+	srcs := int32Scratch(e.srcs, out.width)
+	e.srcs = srcs
+	for i, c := range out.cols {
+		if probe.attrs.Has(c) {
+			srcs[i] = int32(probe.colPos(c))
+		} else {
+			srcs[i] = int32(^build.colPos(c))
+		}
+	}
+	obuf := valScratch(e.obuf, out.width)
+	e.obuf = obuf
+	for pi := 0; pi < probe.n; pi++ {
+		prow := probe.row(pi)
+		for k, p := range pPos {
+			kbuf[k] = prow[p]
+		}
+		h := hashValues(kbuf)
+		j := h & mask
+		for {
+			head := slots[j]
+			if head == 0 {
+				break // key absent from build side
+			}
+			hi := int(head - 1)
+			if keyh[hi] != h || !keyEqual(build, hi, bPos, kbuf) {
+				j = (j + 1) & mask
+				continue
+			}
+			for bi := head; bi != 0; bi = next[bi-1] {
+				brow := build.row(int(bi - 1))
+				for k, sc := range srcs {
+					if sc >= 0 {
+						obuf[k] = prow[sc]
+					} else {
+						obuf[k] = brow[^sc]
+					}
+				}
+				out.insertHashed(obuf, hashValues(obuf))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// Semijoin returns r ⋉ s = π_{attrs(r)}(r ⋈ s): the tuples of r that
+// join with at least one tuple of s. The distinct shared-column keys of
+// s form an open-addressing set (each slot keeps a representative
+// s-row for collision verification); r's rows are re-inserted with
+// their stored hashes, so surviving tuples are never re-hashed.
+func (e *Exec) Semijoin(r, s *Relation) *Relation {
+	shared := r.attrs.Intersect(s.attrs)
+	sharedCols := shared.Attrs()
+	sPos := intScratch(e.posA, len(sharedCols))
+	rPos := intScratch(e.posB, len(sharedCols))
+	e.posA, e.posB = sPos, rPos
+	for i, c := range sharedCols {
+		sPos[i] = s.colPos(c)
+		rPos[i] = r.colPos(c)
+	}
+	nSlots := tableSize(s.n)
+	mask := uint64(nSlots - 1)
+	slots := e.slotScratch(nSlots)
+	keyh := uint64Scratch(e.keyh, s.n)
+	e.keyh = keyh
+	kbuf := valScratch(e.kbuf, len(sharedCols))
+	e.kbuf = kbuf
+	for i := 0; i < s.n; i++ {
+		row := s.row(i)
+		for k, p := range sPos {
+			kbuf[k] = row[p]
+		}
+		h := hashValues(kbuf)
+		keyh[i] = h
+		j := h & mask
+		for {
+			head := slots[j]
+			if head == 0 {
+				slots[j] = int32(i + 1)
+				break
+			}
+			if hi := int(head - 1); keyh[hi] == h && keyEqual(s, hi, sPos, kbuf) {
+				break // key already present
+			}
+			j = (j + 1) & mask
+		}
+	}
+	out := New(r.U, r.attrs)
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for k, p := range rPos {
+			kbuf[k] = row[p]
+		}
+		h := hashValues(kbuf)
+		j := h & mask
+		for {
+			head := slots[j]
+			if head == 0 {
+				break
+			}
+			if hi := int(head - 1); keyh[hi] == h && keyEqual(s, hi, sPos, kbuf) {
+				out.insertHashed(row, r.hashes[i])
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+	return out
+}
+
+// JoinAll folds the natural join over rels greedily: it starts from
+// the smallest relation and repeatedly joins the smallest relation
+// that shares an attribute with the accumulated schema, falling back
+// to the smallest remaining relation only when a cross product is
+// unavoidable. Ties break toward the earlier input position, so the
+// order — and therefore the result, join being commutative and
+// associative — is deterministic. It panics on an empty input.
+func (e *Exec) JoinAll(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: JoinAll of nothing")
+	}
+	rest := append([]*Relation(nil), rels...)
+	start := 0
+	for i, r := range rest {
+		if r.n < rest[start].n {
+			start = i
+		}
+	}
+	acc := rest[start]
+	rest = append(rest[:start], rest[start+1:]...)
+	attrs := acc.attrs
+	for len(rest) > 0 {
+		pick := -1
+		for i, r := range rest {
+			if attrs.Intersects(r.attrs) && (pick < 0 || r.n < rest[pick].n) {
+				pick = i
+			}
+		}
+		if pick < 0 { // disconnected: cross product with the smallest
+			pick = 0
+			for i, r := range rest {
+				if r.n < rest[pick].n {
+					pick = i
+				}
+			}
+		}
+		acc = e.Join(acc, rest[pick])
+		attrs = acc.attrs
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	return acc
+}

@@ -2,6 +2,17 @@
 // states over attribute sets, natural join, projection, semijoin, and
 // universal-relation database construction (paper §2). Tuples carry
 // int32 values; relations have set semantics (duplicates eliminated).
+//
+// Storage is columnar-adjacent: every relation keeps its rows in one
+// flat []Value arena with width-strided access (row i occupies
+// data[i*width : (i+1)*width]), never as per-row slices. Set semantics
+// are enforced by an open-addressing hash index over 64-bit row hashes
+// with full collision verification — no string keys are materialized
+// anywhere on the insert, lookup, join, or semijoin paths. The
+// operators live on Exec (see exec.go), a reusable execution context
+// that amortizes hash tables and scratch buffers across a whole
+// program run; the methods on Relation are convenience wrappers over a
+// throwaway Exec.
 package relation
 
 import (
@@ -25,17 +36,21 @@ type Relation struct {
 	U      *schema.Universe
 	attrs  schema.AttrSet
 	cols   []schema.Attr // sorted ascending
-	tuples []Tuple
-	index  map[string]int // tuple key → position (set semantics)
+	width  int
+	data   []Value  // arena: row i is data[i*width : (i+1)*width]
+	hashes []uint64 // hashes[i] = hashValues(row i)
+	slots  []int32  // open addressing: row index + 1; 0 = empty
+	n      int
 }
 
 // New returns an empty relation over the given attribute set.
 func New(u *schema.Universe, attrs schema.AttrSet) *Relation {
+	cols := attrs.Attrs()
 	return &Relation{
 		U:     u,
 		attrs: attrs.Clone(),
-		cols:  attrs.Attrs(),
-		index: make(map[string]int),
+		cols:  cols,
+		width: len(cols),
 	}
 }
 
@@ -46,41 +61,97 @@ func (r *Relation) Attrs() schema.AttrSet { return r.attrs.Clone() }
 func (r *Relation) Cols() []schema.Attr { return append([]schema.Attr(nil), r.cols...) }
 
 // Card returns the number of tuples.
-func (r *Relation) Card() int { return len(r.tuples) }
+func (r *Relation) Card() int { return r.n }
 
-// Tuples returns the tuple slice (shared; callers must not modify).
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// row returns the i-th row as a view into the arena.
+func (r *Relation) row(i int) []Value {
+	return r.data[i*r.width : (i+1)*r.width]
+}
 
-func key(t Tuple) string {
-	b := make([]byte, 4*len(t))
-	for i, v := range t {
-		b[4*i] = byte(v)
-		b[4*i+1] = byte(v >> 8)
-		b[4*i+2] = byte(v >> 16)
-		b[4*i+3] = byte(v >> 24)
+// Tuples returns the rows as views into the arena (shared; callers
+// must not modify).
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = Tuple(r.row(i))
 	}
-	return string(b)
+	return out
+}
+
+// growIndex (re)builds the open-addressing table at double capacity,
+// reusing the stored row hashes so rows are never re-hashed.
+func (r *Relation) growIndex() {
+	size := 16
+	if len(r.slots) > 0 {
+		size = 2 * len(r.slots)
+	}
+	slots := make([]int32, size)
+	mask := uint64(size - 1)
+	for i := 0; i < r.n; i++ {
+		j := r.hashes[i] & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j] = int32(i + 1)
+	}
+	r.slots = slots
+}
+
+// insertHashed adds the row (given with its precomputed hash) unless an
+// equal row is present; it reports whether the row was added. vals is
+// copied into the arena.
+func (r *Relation) insertHashed(vals []Value, h uint64) bool {
+	if 4*(r.n+1) > 3*len(r.slots) {
+		r.growIndex()
+	}
+	mask := uint64(len(r.slots) - 1)
+	j := h & mask
+	for {
+		s := r.slots[j]
+		if s == 0 {
+			r.slots[j] = int32(r.n + 1)
+			r.data = append(r.data, vals...)
+			r.hashes = append(r.hashes, h)
+			r.n++
+			return true
+		}
+		if i := int(s - 1); r.hashes[i] == h && valuesEqual(r.row(i), vals) {
+			return false
+		}
+		j = (j + 1) & mask
+	}
+}
+
+// contains reports whether a row equal to vals (with hash h) is present.
+func (r *Relation) contains(vals []Value, h uint64) bool {
+	if len(r.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(r.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := r.slots[j]
+		if s == 0 {
+			return false
+		}
+		if i := int(s - 1); r.hashes[i] == h && valuesEqual(r.row(i), vals) {
+			return true
+		}
+	}
 }
 
 // Insert adds a tuple given in column order. Duplicates are ignored.
 // It panics if the arity is wrong (programmer error).
 func (r *Relation) Insert(t Tuple) {
-	if len(t) != len(r.cols) {
-		panic(fmt.Sprintf("relation: arity %d ≠ %d", len(t), len(r.cols)))
+	if len(t) != r.width {
+		panic(fmt.Sprintf("relation: arity %d ≠ %d", len(t), r.width))
 	}
-	k := key(t)
-	if _, dup := r.index[k]; dup {
-		return
-	}
-	cp := append(Tuple(nil), t...)
-	r.index[k] = len(r.tuples)
-	r.tuples = append(r.tuples, cp)
+	r.insertHashed(t, hashValues(t))
 }
 
 // InsertMap adds a tuple given as attribute→value; all attributes of
 // the relation must be present.
 func (r *Relation) InsertMap(m map[schema.Attr]Value) {
-	t := make(Tuple, len(r.cols))
+	t := make(Tuple, r.width)
 	for i, c := range r.cols {
 		v, ok := m[c]
 		if !ok {
@@ -93,52 +164,34 @@ func (r *Relation) InsertMap(m map[schema.Attr]Value) {
 
 // Has reports whether the tuple (in column order) is present.
 func (r *Relation) Has(t Tuple) bool {
-	_, ok := r.index[key(t)]
-	return ok
+	if len(t) != r.width {
+		return false
+	}
+	return r.contains(t, hashValues(t))
 }
 
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
 	out := New(r.U, r.attrs)
-	for _, t := range r.tuples {
-		out.Insert(t)
-	}
+	out.data = append([]Value(nil), r.data...)
+	out.hashes = append([]uint64(nil), r.hashes...)
+	out.slots = append([]int32(nil), r.slots...)
+	out.n = r.n
 	return out
 }
 
 // Equal reports whether r and s have the same attribute set and the
 // same tuple set.
 func (r *Relation) Equal(s *Relation) bool {
-	if !r.attrs.Equal(s.attrs) || len(r.tuples) != len(s.tuples) {
+	if !r.attrs.Equal(s.attrs) || r.n != s.n {
 		return false
 	}
-	for _, t := range r.tuples {
-		if !s.Has(t) {
+	for i := 0; i < r.n; i++ {
+		if !s.contains(r.row(i), r.hashes[i]) {
 			return false
 		}
 	}
 	return true
-}
-
-// Project returns π_x(r). x must be a subset of r's attributes.
-func (r *Relation) Project(x schema.AttrSet) *Relation {
-	if !x.SubsetOf(r.attrs) {
-		panic(fmt.Sprintf("relation: projection %s ⊄ %s",
-			r.U.FormatSet(x), r.U.FormatSet(r.attrs)))
-	}
-	out := New(r.U, x)
-	pos := make([]int, 0, len(out.cols))
-	for _, c := range out.cols {
-		pos = append(pos, r.colPos(c))
-	}
-	buf := make(Tuple, len(pos))
-	for _, t := range r.tuples {
-		for i, p := range pos {
-			buf[i] = t[p]
-		}
-		out.Insert(buf)
-	}
-	return out
 }
 
 func (r *Relation) colPos(a schema.Attr) int {
@@ -149,107 +202,29 @@ func (r *Relation) colPos(a schema.Attr) int {
 	return i
 }
 
+// Project returns π_x(r). x must be a subset of r's attributes.
+func (r *Relation) Project(x schema.AttrSet) *Relation {
+	return (&Exec{}).Project(r, x)
+}
+
 // Join returns the natural join r ⋈ s (hash join on the shared
 // attributes; a cross product when none are shared).
 func (r *Relation) Join(s *Relation) *Relation {
-	shared := r.attrs.Intersect(s.attrs)
-	// Hash the smaller side.
-	build, probe := r, s
-	if s.Card() < r.Card() {
-		build, probe = s, r
-	}
-	sharedCols := shared.Attrs()
-	bPos := make([]int, len(sharedCols))
-	pPos := make([]int, len(sharedCols))
-	for i, c := range sharedCols {
-		bPos[i] = build.colPos(c)
-		pPos[i] = probe.colPos(c)
-	}
-	ht := make(map[string][]Tuple, build.Card())
-	kbuf := make(Tuple, len(sharedCols))
-	for _, t := range build.tuples {
-		for i, p := range bPos {
-			kbuf[i] = t[p]
-		}
-		k := key(kbuf)
-		ht[k] = append(ht[k], t)
-	}
-	out := New(r.U, r.attrs.Union(s.attrs))
-	// Output column sources: from probe where present, else from build.
-	type src struct {
-		fromProbe bool
-		pos       int
-	}
-	srcs := make([]src, len(out.cols))
-	for i, c := range out.cols {
-		if probe.attrs.Has(c) {
-			srcs[i] = src{true, probe.colPos(c)}
-		} else {
-			srcs[i] = src{false, build.colPos(c)}
-		}
-	}
-	obuf := make(Tuple, len(out.cols))
-	for _, pt := range probe.tuples {
-		for i, p := range pPos {
-			kbuf[i] = pt[p]
-		}
-		for _, bt := range ht[key(kbuf)] {
-			for i, s := range srcs {
-				if s.fromProbe {
-					obuf[i] = pt[s.pos]
-				} else {
-					obuf[i] = bt[s.pos]
-				}
-			}
-			out.Insert(obuf)
-		}
-	}
-	return out
+	return (&Exec{}).Join(r, s)
 }
 
 // Semijoin returns r ⋉ s = π_{attrs(r)}(r ⋈ s): the tuples of r that
 // join with at least one tuple of s.
 func (r *Relation) Semijoin(s *Relation) *Relation {
-	shared := r.attrs.Intersect(s.attrs)
-	sharedCols := shared.Attrs()
-	sPos := make([]int, len(sharedCols))
-	rPos := make([]int, len(sharedCols))
-	for i, c := range sharedCols {
-		sPos[i] = s.colPos(c)
-		rPos[i] = r.colPos(c)
-	}
-	seen := make(map[string]bool, s.Card())
-	kbuf := make(Tuple, len(sharedCols))
-	for _, t := range s.tuples {
-		for i, p := range sPos {
-			kbuf[i] = t[p]
-		}
-		seen[key(kbuf)] = true
-	}
-	out := New(r.U, r.attrs)
-	for _, t := range r.tuples {
-		for i, p := range rPos {
-			kbuf[i] = t[p]
-		}
-		if seen[key(kbuf)] {
-			out.Insert(t)
-		}
-	}
-	return out
+	return (&Exec{}).Semijoin(r, s)
 }
 
-// JoinAll folds the natural join over rels left to right. It panics on
-// an empty input (the identity of ⋈ is the zero-attribute relation
-// with one tuple; callers that need it can construct it explicitly).
+// JoinAll folds the natural join over rels in a greedy
+// smallest-cardinality-first order (see Exec.JoinAll). It panics on an
+// empty input (the identity of ⋈ is the zero-attribute relation with
+// one tuple; callers that need it can construct it explicitly).
 func JoinAll(rels []*Relation) *Relation {
-	if len(rels) == 0 {
-		panic("relation: JoinAll of nothing")
-	}
-	acc := rels[0]
-	for _, r := range rels[1:] {
-		acc = acc.Join(r)
-	}
-	return acc
+	return (&Exec{}).JoinAll(rels)
 }
 
 // String renders the relation sorted, for debugging and golden tests.
@@ -259,9 +234,10 @@ func (r *Relation) String() string {
 	for i, c := range r.cols {
 		names[i] = r.U.Name(c)
 	}
-	fmt.Fprintf(&b, "%s[%d]{", strings.Join(names, ","), len(r.tuples))
-	rows := make([]string, len(r.tuples))
-	for i, t := range r.tuples {
+	fmt.Fprintf(&b, "%s[%d]{", strings.Join(names, ","), r.n)
+	rows := make([]string, r.n)
+	for i := 0; i < r.n; i++ {
+		t := r.row(i)
 		parts := make([]string, len(t))
 		for j, v := range t {
 			parts[j] = fmt.Sprint(v)
@@ -275,18 +251,22 @@ func (r *Relation) String() string {
 }
 
 // RandomUniversal generates a random universal relation over attrs with
-// n distinct tuples drawn uniformly from [0, domain) per column.
-func RandomUniversal(u *schema.Universe, attrs schema.AttrSet, n, domain int, rng *rand.Rand) *Relation {
+// up to n distinct tuples drawn uniformly from [0, domain) per column.
+// Duplicate draws are retried for at most 50n+100 attempts in total, so
+// when fewer than n distinct tuples exist (domain^|attrs| < n) — or the
+// retry budget runs out on a nearly saturated domain — the relation
+// holds fewer than n tuples. The achieved count is returned alongside
+// the relation; callers that need exactly n must check it.
+func RandomUniversal(u *schema.Universe, attrs schema.AttrSet, n, domain int, rng *rand.Rand) (*Relation, int) {
 	r := New(u, attrs)
-	w := len(r.cols)
-	t := make(Tuple, w)
-	for tries := 0; r.Card() < n && tries < 50*n+100; tries++ {
+	t := make(Tuple, r.width)
+	for tries := 0; r.n < n && tries < 50*n+100; tries++ {
 		for i := range t {
 			t[i] = Value(rng.Intn(domain))
 		}
 		r.Insert(t)
 	}
-	return r
+	return r, r.n
 }
 
 // Database is a universal-relation database state: one relation per
@@ -301,15 +281,17 @@ type Database struct {
 // universal relation I.
 func URDatabase(d *schema.Schema, i *Relation) *Database {
 	db := &Database{D: d, Univ: i}
+	ex := &Exec{}
 	for _, r := range d.Rels {
-		db.Rels = append(db.Rels, i.Project(r))
+		db.Rels = append(db.Rels, ex.Project(i, r))
 	}
 	return db
 }
 
 // Eval computes Q(D) = π_X(⋈ᵢ Rᵢ) naively over the database state.
 func (db *Database) Eval(x schema.AttrSet) *Relation {
-	return JoinAll(db.Rels).Project(x)
+	ex := &Exec{}
+	return ex.Project(ex.JoinAll(db.Rels), x)
 }
 
 // EvalSubset computes π_X(⋈_{i∈idx} Rᵢ).
@@ -318,20 +300,22 @@ func (db *Database) EvalSubset(x schema.AttrSet, idx []int) *Relation {
 	for _, i := range idx {
 		rels = append(rels, db.Rels[i])
 	}
-	return JoinAll(rels).Project(x)
+	ex := &Exec{}
+	return ex.Project(ex.JoinAll(rels), x)
 }
 
 // SatisfiesJD reports whether the universal relation i satisfies the
 // join dependency ⋈D: π_{U(D)}(I) = ⋈_{R∈D} π_R(I) (§5.1; an embedded
 // join dependency when U(D) ⊊ attrs(I)).
 func SatisfiesJD(i *Relation, d *schema.Schema) bool {
-	lhs := i.Project(d.Attrs().Intersect(i.Attrs()))
+	ex := &Exec{}
+	lhs := ex.Project(i, d.Attrs().Intersect(i.Attrs()))
 	var rels []*Relation
 	for _, r := range d.Rels {
-		rels = append(rels, i.Project(r.Intersect(i.Attrs())))
+		rels = append(rels, ex.Project(i, r.Intersect(i.Attrs())))
 	}
 	if len(rels) == 0 {
 		return true
 	}
-	return JoinAll(rels).Equal(lhs)
+	return ex.JoinAll(rels).Equal(lhs)
 }

@@ -136,8 +136,8 @@ func TestSemijoinDefinition(t *testing.T) {
 		if ra.IsEmpty() || sa.IsEmpty() {
 			continue
 		}
-		r := RandomUniversal(u, ra, 20, 4, rng)
-		s := RandomUniversal(u, sa, 20, 4, rng)
+		r, _ := RandomUniversal(u, ra, 20, 4, rng)
+		s, _ := RandomUniversal(u, sa, 20, 4, rng)
 		got := r.Semijoin(s)
 		want := r.Join(s).Project(r.Attrs())
 		if !got.Equal(want) {
@@ -157,9 +157,9 @@ func TestJoinAlgebraProperties(t *testing.T) {
 		if ra.IsEmpty() || sa.IsEmpty() || ta.IsEmpty() {
 			continue
 		}
-		r := RandomUniversal(u, ra, 15, 3, rng)
-		s := RandomUniversal(u, sa, 15, 3, rng)
-		w := RandomUniversal(u, ta, 15, 3, rng)
+		r, _ := RandomUniversal(u, ra, 15, 3, rng)
+		s, _ := RandomUniversal(u, sa, 15, 3, rng)
+		w, _ := RandomUniversal(u, ta, 15, 3, rng)
 		// Commutativity.
 		if !r.Join(s).Equal(s.Join(r)) {
 			t.Fatal("join not commutative")
@@ -183,7 +183,7 @@ func TestURDatabaseAndJD(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	u := schema.NewUniverse()
 	d, _ := schema.Parse(u, "ab, bc, cd")
-	i := RandomUniversal(u, d.Attrs(), 30, 3, rng)
+	i, _ := RandomUniversal(u, d.Attrs(), 30, 3, rng)
 	db := URDatabase(d, i)
 	if len(db.Rels) != 3 {
 		t.Fatal("wrong relation count")
@@ -215,7 +215,7 @@ func TestEvalMatchesDefinition(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	u := schema.NewUniverse()
 	d, _ := schema.Parse(u, "ab, bc")
-	i := RandomUniversal(u, d.Attrs(), 25, 3, rng)
+	i, _ := RandomUniversal(u, d.Attrs(), 25, 3, rng)
 	db := URDatabase(d, i)
 	x := u.Set("a", "c")
 	got := db.Eval(x)
@@ -232,18 +232,22 @@ func TestEvalMatchesDefinition(t *testing.T) {
 func TestRandomUniversalDeterminism(t *testing.T) {
 	u := schema.NewUniverse()
 	attrs := u.Set("a", "b", "c")
-	r1 := RandomUniversal(u, attrs, 20, 5, rand.New(rand.NewSource(1)))
-	r2 := RandomUniversal(u, attrs, 20, 5, rand.New(rand.NewSource(1)))
+	r1, got1 := RandomUniversal(u, attrs, 20, 5, rand.New(rand.NewSource(1)))
+	r2, got2 := RandomUniversal(u, attrs, 20, 5, rand.New(rand.NewSource(1)))
 	if !r1.Equal(r2) {
 		t.Error("same seed should give same relation")
 	}
-	if r1.Card() != 20 {
-		t.Errorf("Card = %d, want 20", r1.Card())
+	if r1.Card() != 20 || got1 != 20 || got2 != 20 {
+		t.Errorf("Card = %d (achieved %d, %d), want 20", r1.Card(), got1, got2)
 	}
-	// Tiny domain saturates: only 2 distinct tuples exist.
-	tiny := RandomUniversal(u, u.Set("a"), 10, 2, rand.New(rand.NewSource(2)))
-	if tiny.Card() != 2 {
-		t.Errorf("saturated Card = %d, want 2", tiny.Card())
+	// Tiny domain saturates: only 2 distinct tuples exist, and the
+	// achieved count reports the shortfall instead of hiding it.
+	tiny, got := RandomUniversal(u, u.Set("a"), 10, 2, rand.New(rand.NewSource(2)))
+	if tiny.Card() != 2 || got != 2 {
+		t.Errorf("saturated Card = %d, achieved = %d, want 2, 2", tiny.Card(), got)
+	}
+	if got == 10 {
+		t.Error("achieved count must expose the truncation")
 	}
 }
 
