@@ -368,6 +368,89 @@ func BenchmarkSolveByJoins(b *testing.B) {
 	}
 }
 
+// --- serving engine: plan cache, pooling, concurrency ---------------
+
+// engineBenchQuery is the fixed (schema, X) pair the engine benchmarks
+// share: the paper's §6 cyclic running example, whose planning cost
+// (GYO reduction + γ test + the §4 treefy-then-Yannakakis build) is
+// exactly what the plan cache is supposed to amortize.
+func engineBenchQuery() (*schema.Schema, schema.AttrSet, *relation.Database) {
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "abg, bcg, acf, ad, de, ea")
+	x := u.Set("a", "b", "c")
+	i, _ := relation.RandomUniversal(u, d.Attrs(), 200, 6, gen.RNG(3))
+	return d, x, relation.URDatabase(d, i)
+}
+
+// BenchmarkEngineCold plans with the cache disabled: every iteration
+// classifies and compiles from scratch.
+func BenchmarkEngineCold(b *testing.B) {
+	d, x, _ := engineBenchQuery()
+	e := gyokit.NewEngine(gyokit.EngineOptions{PlanCacheSize: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Plan(d, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCached plans the same query against a warm cache:
+// fingerprint, LRU lookup, verification — no GYO, no tableau, no
+// program construction.
+func BenchmarkEngineCached(b *testing.B) {
+	d, x, _ := engineBenchQuery()
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	if _, err := e.Plan(d, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Plan(d, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineParallel measures end-to-end Solve throughput with
+// GOMAXPROCS goroutines sharing one engine: cached plan, pooled Exec
+// contexts, one frozen snapshot.
+func BenchmarkEngineParallel(b *testing.B) {
+	d, x, db := engineBenchQuery()
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	e.Swap(db)
+	if _, _, err := e.Solve(d, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := e.Solve(d, x); err != nil {
+				// FailNow must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkEngineSolveSerial is the single-goroutine baseline for
+// BenchmarkEngineParallel.
+func BenchmarkEngineSolveSerial(b *testing.B) {
+	d, x, db := engineBenchQuery()
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	e.Swap(db)
+	if _, _, err := e.Solve(d, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Solve(d, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E-PERF8: the §4 cyclic strategy --------------------------------
 
 func BenchmarkEvalCyclicStrategy(b *testing.B) {

@@ -1,6 +1,7 @@
 // Command gyobench regenerates every experiment in EXPERIMENTS.md: the
 // paper's figures and worked examples (asserted reproductions) plus
-// the synthetic performance tables.
+// the synthetic performance tables. With -parallel it instead becomes
+// a load driver that hammers a serving engine from N goroutines.
 //
 // Usage:
 //
@@ -8,22 +9,45 @@
 //	gyobench -run sec6    run one experiment by id
 //	gyobench -list        list experiment ids
 //	gyobench -time        print per-experiment wall time
+//	gyobench -parallel 8 [-duration 2s] [-schema "ab, bc, cd"]
+//	                      [-tuples 5000] [-domain 32] [-nowriter]
+//	                      load-test an Engine and report throughput
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"gyokit/internal/engine"
 	"gyokit/internal/exp"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
 )
 
 func main() {
 	run := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	timed := flag.Bool("time", false, "print per-experiment wall time")
+	parallel := flag.Int("parallel", 0, "load-driver mode: number of query goroutines")
+	duration := flag.Duration("duration", 2*time.Second, "load-driver run time")
+	schemaText := flag.String("schema", "ab, bc, cd, de", "load-driver serving schema")
+	tuples := flag.Int("tuples", 5000, "load-driver universal tuples")
+	domain := flag.Int("domain", 32, "load-driver value domain")
+	nowriter := flag.Bool("nowriter", false, "load-driver: disable the snapshot-swapping writer")
 	flag.Parse()
 
+	if *parallel > 0 {
+		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -47,4 +71,113 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all experiments passed")
+}
+
+// loadDrive hammers one Engine from n goroutines for the given
+// duration — the serving-path counterpart of the library benchmarks.
+// Workers cycle through every attribute pair of the schema as query
+// targets (so traffic mixes plan-cache hits with evictions), while an
+// optional writer keeps deriving copy-on-write snapshots and swapping
+// them in. It reports aggregate throughput and cache behavior.
+func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, writer bool) error {
+	u := schema.NewUniverse()
+	sch, err := schema.Parse(u, schemaText)
+	if err != nil {
+		return err
+	}
+	attrs := sch.Attrs().Attrs()
+	if len(attrs) < 2 {
+		return fmt.Errorf("schema needs at least two attributes")
+	}
+	var targets []schema.AttrSet
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			targets = append(targets, schema.NewAttrSet(attrs[i], attrs[j]))
+		}
+	}
+
+	e := engine.New(engine.Options{})
+	univ, got := relation.RandomUniversal(u, sch.Attrs(), tuples, domain, rand.New(rand.NewSource(1)))
+	e.Swap(relation.URDatabase(sch, univ))
+
+	fmt.Printf("load-driving %s (%d universal tuples, %d query targets) with %d goroutines for %v",
+		sch, got, len(targets), n, d)
+	if writer {
+		fmt.Printf(" + 1 writer")
+	}
+	fmt.Println()
+
+	stop := make(chan struct{})
+	var swaps int64
+	var writerWG sync.WaitGroup
+	if writer {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(2))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Update(func(snap *relation.Database) *relation.Database {
+					ri := rng.Intn(len(snap.Rels))
+					tup := make(relation.Tuple, len(snap.Rels[ri].Cols()))
+					for k := range tup {
+						tup[k] = relation.Value(rng.Intn(domain))
+					}
+					return snap.InsertTuple(ri, tup)
+				})
+				atomic.AddInt64(&swaps, 1)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	ops := make([]int64, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(d)
+	var errMu sync.Mutex
+	var firstErr error
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				x := targets[(g+i)%len(targets)]
+				if _, _, err := e.Solve(sch, x); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				ops[g]++
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writerWG.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var total int64
+	for _, o := range ops {
+		total += o
+	}
+	st := e.Stats()
+	fmt.Printf("total:      %d queries in %v\n", total, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f queries/sec aggregate (%.0f /sec/goroutine)\n",
+		float64(total)/elapsed.Seconds(), float64(total)/elapsed.Seconds()/float64(n))
+	fmt.Printf("plan cache: %d hits, %d misses, %d resident\n", st.PlanHits, st.PlanMisses, st.CachedPlans)
+	if writer {
+		fmt.Printf("snapshots:  %d swaps during the run\n", atomic.LoadInt64(&swaps))
+	}
+	return nil
 }

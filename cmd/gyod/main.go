@@ -1,0 +1,70 @@
+// Command gyod serves the paper's machinery over HTTP: schema
+// classification, query planning, and query evaluation against an
+// in-memory universal-relation database, backed by one shared
+// concurrent engine (plan cache + Exec pool + snapshot swapping).
+//
+// Usage:
+//
+//	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
+//
+// Endpoints (JSON in/out):
+//
+//	POST /classify  {"schema": "ab, bc, cd"}
+//	POST /plan      {"schema": "ab, bc, cd", "x": "ad"}
+//	POST /solve     {"x": "ad"}              evaluate on the server database
+//	GET  /stats     engine counters and snapshot cardinalities
+//	GET  /healthz
+//
+// Example:
+//
+//	gyod -schema "ab, bc, cd" -tuples 1000 &
+//	curl -s localhost:8080/solve -d '{"x": "ad"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"gyokit/internal/engine"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	schemaText := flag.String("schema", "ab, bc, cd", "serving schema in the paper's notation")
+	tuples := flag.Int("tuples", 1000, "universal tuples to generate for the serving database")
+	domain := flag.Int("domain", 32, "per-column value domain of the generated database")
+	seed := flag.Int64("seed", 1, "generator seed")
+	cache := flag.Int("cache", engine.DefaultPlanCacheSize, "plan-cache capacity (negative disables)")
+	flag.Parse()
+
+	u := schema.NewUniverse()
+	d, err := schema.Parse(u, *schemaText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gyod:", err)
+		os.Exit(2)
+	}
+
+	e := engine.New(engine.Options{PlanCacheSize: *cache})
+	rng := rand.New(rand.NewSource(*seed))
+	univ, n := relation.RandomUniversal(u, d.Attrs(), *tuples, *domain, rng)
+	e.Swap(relation.URDatabase(d, univ))
+
+	srv := engine.NewServer(e, u, d)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("gyod: serving %s (%d universal tuples) on %s", d, n, *addr)
+	log.Fatal(hs.ListenAndServe())
+}

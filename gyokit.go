@@ -46,12 +46,28 @@
 // re-allocation. Eval returns Stats with per-statement tuples-in /
 // tuples-out and wall time (Stats.Detail, Stats.Table), turning the
 // paper's §6 cost analyses into observable numbers.
+//
+// # Serving engine
+//
+// For concurrent workloads, Engine (internal/engine) separates
+// planning from execution and amortizes both across requests: an LRU
+// plan cache keyed by order-independent schema/target fingerprints
+// (Schema.Fingerprint) holds the Classification plus the compiled
+// Program, so repeat queries skip GYO reduction, tableau work, and
+// plan construction entirely; a sync.Pool of Exec contexts lets
+// concurrent evaluations reuse hash tables without locking; and
+// queries run against immutable frozen Database snapshots swapped in
+// atomically by writers (Database.Clone, Database.InsertTuple,
+// Engine.Swap), so readers never block. NewEngineServer exposes an
+// Engine over HTTP (/classify, /plan, /solve) — cmd/gyod is the
+// ready-made daemon, and gyobench -parallel N is the load driver.
 package gyokit
 
 import (
 	"math/rand"
 
 	"gyokit/internal/core"
+	"gyokit/internal/engine"
 	"gyokit/internal/gamma"
 	"gyokit/internal/graph"
 	"gyokit/internal/gyo"
@@ -88,6 +104,10 @@ type (
 	Relation = relation.Relation
 	// Database is a database state for a schema.
 	Database = relation.Database
+	// Value is a single attribute value.
+	Value = relation.Value
+	// Tuple is a row of a relation state.
+	Tuple = relation.Tuple
 	// Exec is a reusable relational execution context: one Exec
 	// amortizes hash tables and scratch buffers across operator calls.
 	Exec = relation.Exec
@@ -97,6 +117,22 @@ type (
 	StmtStat = program.StmtStat
 	// Tableau is a query tableau (§3.4).
 	Tableau = tableau.Tableau
+)
+
+// Serving-layer types (internal/engine).
+type (
+	// Engine is the concurrent query-serving engine: plan cache, Exec
+	// pool, and atomic database snapshots.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of engine counters.
+	EngineStats = engine.Stats
+	// PreparedPlan is a cache-resident compiled query: classification
+	// plus program.
+	PreparedPlan = engine.Plan
+	// EngineServer exposes an Engine over HTTP (the gyod API).
+	EngineServer = engine.Server
 )
 
 // Analysis result types.
@@ -120,6 +156,15 @@ func NewUniverse() *Universe { return schema.NewUniverse() }
 
 // NewExec returns a fresh relational execution context.
 func NewExec() *Exec { return relation.NewExec() }
+
+// NewEngine returns a concurrent query-serving engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewEngineServer returns the HTTP server over e; d (parsed into u) is
+// the serving schema backing /solve and may be nil.
+func NewEngineServer(e *Engine, u *Universe, d *Schema) *EngineServer {
+	return engine.NewServer(e, u, d)
+}
 
 // NewSchema returns a schema over u with the given relation schemas.
 func NewSchema(u *Universe, rels ...AttrSet) *Schema { return schema.New(u, rels...) }

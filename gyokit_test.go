@@ -166,3 +166,33 @@ func TestFacadeGYOReduce(t *testing.T) {
 		t.Error("NewSchema wrong")
 	}
 }
+
+func TestFacadeEngine(t *testing.T) {
+	u := gyokit.NewUniverse()
+	d := gyokit.MustParse(u, "ab, bc, cd")
+	x := u.Set("a", "d")
+	db := gyokit.RandomURDatabase(d, 50, 4, 1)
+
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	e.Swap(db)
+	got, stats, err := e.Solve(d, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || got.Card() == 0 {
+		t.Fatalf("Solve returned card %d", got.Card())
+	}
+	if !got.Equal(db.Eval(x)) {
+		t.Error("engine result ≠ naive eval")
+	}
+	if _, _, err := e.Solve(d, x); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PlanHits == 0 || st.Evals != 2 {
+		t.Errorf("engine stats = %+v", st)
+	}
+	if d.Fingerprint() != gyokit.MustParse(u, "cd, ab, bc").Fingerprint() {
+		t.Error("Fingerprint not order-independent through the facade")
+	}
+}

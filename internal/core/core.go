@@ -225,6 +225,33 @@ func TreePlan(d *schema.Schema, x schema.AttrSet) (*program.Program, error) {
 	return program.Yannakakis(d, x, t)
 }
 
+// Prepare classifies d and compiles the plan for (d, x) in one pass —
+// the unit of work the serving layer caches per (schema, target). On
+// tree schemas the Yannakakis build reuses the classification's qual
+// tree instead of re-deriving it; cyclic schemas take the §4 strategy.
+func Prepare(d *schema.Schema, x schema.AttrSet) (*Classification, *program.Program, error) {
+	// Reject bad targets before the expensive classification, so
+	// repeated invalid queries (which the serving layer cannot cache)
+	// stay cheap.
+	if !x.SubsetOf(d.Attrs()) {
+		return nil, nil, fmt.Errorf("core: target %s ⊄ U(D)", d.U.FormatSet(x))
+	}
+	cls, err := Classify(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	var p *program.Program
+	if cls.Tree {
+		p, err = program.Yannakakis(d, x, cls.QualTree)
+	} else {
+		p, err = program.CyclicPlan(d, x)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return cls, p, nil
+}
+
 // Plan builds a query plan for (D, X) on any schema, following §4:
 // tree schemas get the full-reducer + Yannakakis program; cyclic
 // schemas are first treefied by materializing ∪GR(D) (Corollary 3.2)

@@ -238,3 +238,51 @@ func TestClassifyAgreesWithQualgraph(t *testing.T) {
 		}
 	}
 }
+
+func TestPrepareMatchesPlan(t *testing.T) {
+	for _, tc := range []struct{ schema, x string }{
+		{"ab, bc, cd, de", "ae"},             // tree
+		{"abg, bcg, acf, ad, de, ea", "abc"}, // cyclic §6
+	} {
+		u := schema.NewUniverse()
+		d := parse(t, u, tc.schema)
+		x := schema.MustSet(u, tc.x)
+		cls, prog, err := Prepare(d, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Plan(d, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		i, _ := relation.RandomUniversal(u, d.Attrs(), 50, 5, rng)
+		db := relation.URDatabase(d, i)
+		got, _, err := prog.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, err := want.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Errorf("%s: Prepare program disagrees with Plan program", tc.schema)
+		}
+		wantCls, err := Classify(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls.Tree != wantCls.Tree || cls.GammaAcyclic != wantCls.GammaAcyclic {
+			t.Errorf("%s: Prepare classification disagrees with Classify", tc.schema)
+		}
+	}
+}
+
+func TestPrepareBadTarget(t *testing.T) {
+	u := schema.NewUniverse()
+	d := parse(t, u, "ab, bc")
+	if _, _, err := Prepare(d, u.Set("z")); err == nil {
+		t.Error("Prepare accepted a target outside U(D)")
+	}
+}

@@ -1,0 +1,329 @@
+// Package engine is the concurrent query-serving layer on top of the
+// paper's machinery: it separates planning (GYO reduction, tableau
+// minimization, full-reducer/Yannakakis construction — the expensive,
+// data-independent part) from execution (running the compiled program
+// against a database state), and amortizes both across requests.
+//
+// Three mechanisms carry the load:
+//
+//   - a plan cache: an LRU keyed by (schema fingerprint, target-set
+//     fingerprint) holding the §3 Classification together with the
+//     compiled §4/§6 Program, so a repeated query skips classification
+//     and planning entirely;
+//   - an Exec pool: a sync.Pool of relation.Exec contexts, so
+//     concurrent evaluations reuse join hash tables and scratch
+//     buffers without contending on a lock;
+//   - database snapshots: the engine serves reads from an immutable
+//     (frozen) relation.Database held in an atomic pointer; writers
+//     derive new snapshots copy-on-write and publish them with Update
+//     (serialized read-modify-write) or Swap (blind store), so readers
+//     never block and never observe a half-written state.
+//
+// An Engine is safe for concurrent use by any number of goroutines.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gyokit/internal/core"
+	"gyokit/internal/program"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+// DefaultPlanCacheSize is the plan-cache capacity used when Options
+// leaves PlanCacheSize at zero.
+const DefaultPlanCacheSize = 256
+
+// Options configures an Engine.
+type Options struct {
+	// PlanCacheSize is the LRU capacity in plans. Zero means
+	// DefaultPlanCacheSize; negative disables caching (every query is
+	// classified and planned from scratch — the cold baseline).
+	PlanCacheSize int
+}
+
+// Plan is a cache-resident compiled query: the classification of the
+// schema plus the program solving (D, X). Plans are immutable once
+// built and may be shared by concurrent evaluations.
+type Plan struct {
+	// D is the schema the program's relation ids — and the positional
+	// parts of Cls, such as QualTree edges — refer to; evaluation
+	// aligns the database to this relation order.
+	D *schema.Schema
+	// X is the query target.
+	X schema.AttrSet
+	// Cls is the §3 classification of D.
+	Cls *core.Classification
+	// Prog solves (D, X): Yannakakis on tree schemas, the §4 cyclic
+	// strategy otherwise.
+	Prog *program.Program
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	PlanHits    uint64 // cache hits (classification or plan)
+	PlanMisses  uint64 // cache misses compiled from scratch
+	CachedPlans int    // entries currently resident
+	Evals       uint64 // completed Solve/SolveOn calls
+}
+
+// Engine is a concurrency-safe query-serving engine.
+type Engine struct {
+	mu    sync.Mutex // guards cache
+	cache *lruCache  // nil when caching is disabled
+
+	hits, misses, evals atomic.Uint64
+
+	execs sync.Pool // *relation.Exec
+
+	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update)
+	db  atomic.Pointer[relation.Database] // current frozen snapshot
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{
+		execs: sync.Pool{New: func() any { return relation.NewExec() }},
+	}
+	size := opts.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		e.cache = newLRUCache(size)
+	}
+	return e
+}
+
+// classifyFP is the target-fingerprint slot used for classification-only
+// cache entries (a real target hashes through fpMix and collides with
+// this reserved value only with probability 2⁻⁶⁴ — and a collision is
+// caught by the entry verification, not served).
+const classifyFP = ^uint64(0)
+
+// lookup returns the cached plan for key if present and verified
+// against (d, x). Verification compares the actual schema (and target)
+// rather than trusting the 128-bit key, so fingerprint collisions —
+// including schemas with the same attribute names interned in different
+// orders — degrade to cache misses, never to wrong answers.
+func (e *Engine) lookup(key cacheKey, d *schema.Schema, x schema.AttrSet, wantProg bool) *Plan {
+	if e.cache == nil {
+		return nil
+	}
+	e.mu.Lock()
+	pl, ok := e.cache.get(key)
+	e.mu.Unlock()
+	if !ok || !pl.D.MultisetEqual(d) {
+		return nil
+	}
+	if wantProg && !pl.X.Equal(x) {
+		return nil
+	}
+	// Across distinct universes, equal bitsets can still assign ids to
+	// names differently (e.g. "ab, cd" interned a,b,c,d vs "cd, ab"
+	// interned c,d,a,b produce the same bitset multiset); such a hit
+	// would format and report the cached plan under the wrong names, so
+	// require the id→name maps to agree over U(D).
+	if pl.D.U != d.U {
+		same := true
+		pl.D.Attrs().ForEach(func(a schema.Attr) bool {
+			if pl.D.U.Name(a) != d.U.Name(a) {
+				same = false
+			}
+			return same
+		})
+		if !same {
+			return nil
+		}
+	}
+	return pl
+}
+
+func (e *Engine) store(key cacheKey, pl *Plan) {
+	if e.cache == nil {
+		return
+	}
+	e.mu.Lock()
+	e.cache.put(key, pl)
+	e.mu.Unlock()
+}
+
+// Classify returns the §3 classification of d, from cache when the
+// schema has been seen before in the same relation order. Unlike Plan
+// — whose evaluation realigns databases to the cached relation order —
+// Classify hands the Classification straight back to the caller, and
+// its QualTree edges are positional (relation indexes), so a hit is
+// only valid when the cached order matches d's exactly; permutations
+// of a cached schema reclassify.
+func (e *Engine) Classify(d *schema.Schema) (*core.Classification, error) {
+	// Order-sensitive fingerprint: each relation ordering gets its own
+	// classification entry instead of thrashing one shared slot.
+	key := cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}
+	if pl := e.lookup(key, d, schema.AttrSet{}, false); pl != nil && sameOrder(pl.D, d) {
+		e.hits.Add(1)
+		return pl.Cls, nil
+	}
+	e.misses.Add(1)
+	cls, err := core.Classify(d)
+	if err != nil {
+		return nil, err
+	}
+	e.store(key, &Plan{D: d.Clone(), Cls: cls})
+	return cls, nil
+}
+
+// Plan returns the compiled plan for the query (d, x), from cache when
+// the same (schema, target) pair — compared by fingerprint, verified
+// structurally — has been planned before.
+func (e *Engine) Plan(d *schema.Schema, x schema.AttrSet) (*Plan, error) {
+	fp, xfp := d.QueryFingerprint(x)
+	key := cacheKey{schemaFP: fp, targetFP: xfp}
+	if pl := e.lookup(key, d, x, true); pl != nil {
+		e.hits.Add(1)
+		return pl, nil
+	}
+	e.misses.Add(1)
+	cls, prog, err := core.Prepare(d, x)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{D: d.Clone(), X: x.Clone(), Cls: cls, Prog: prog}
+	e.store(key, pl)
+	// Seed the classification-only slot too: a later Classify of the
+	// same schema (in this order) should not redo the GYO work the plan
+	// already paid for.
+	e.store(cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}, pl)
+	return pl, nil
+}
+
+// Swap freezes db and atomically publishes it as the engine's current
+// snapshot, returning the previous snapshot (nil on first install).
+// In-flight evaluations keep the snapshot they started with.
+//
+// Swap is a blind store: concurrent Swaps are last-writer-wins, and a
+// Snapshot→modify→Swap sequence racing another writer loses that
+// writer's changes. Multiple writers deriving from the current state
+// must use Update instead.
+func (e *Engine) Swap(db *relation.Database) *relation.Database {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	db.Freeze()
+	return e.db.Swap(db)
+}
+
+// Update atomically derives and publishes a new snapshot: fn receives
+// the current snapshot (nil before the first install) and returns the
+// database to publish, typically via the copy-on-write Database
+// methods. Writers are serialized, so concurrent Updates never lose
+// each other's changes; readers stay on the old snapshot, unblocked,
+// until the new one lands. Returning fn's argument unchanged
+// republishes it (a no-op for readers).
+func (e *Engine) Update(fn func(*relation.Database) *relation.Database) *relation.Database {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	db := fn(e.db.Load())
+	db.Freeze()
+	e.db.Store(db)
+	return db
+}
+
+// Snapshot returns the current database snapshot (nil before the first
+// Swap). The snapshot is frozen; derive modified states with the
+// copy-on-write Database methods and publish them with Swap.
+func (e *Engine) Snapshot() *relation.Database { return e.db.Load() }
+
+// Solve evaluates the query (d, x) against the current snapshot.
+func (e *Engine) Solve(d *schema.Schema, x schema.AttrSet) (*relation.Relation, *program.Stats, error) {
+	db := e.db.Load()
+	if db == nil {
+		return nil, nil, fmt.Errorf("engine: no database snapshot installed (call Swap first)")
+	}
+	return e.SolveOn(db, d, x)
+}
+
+// SolveOn evaluates the query (d, x) against an explicit database
+// state, using the plan cache and the Exec pool. db is never mutated.
+func (e *Engine) SolveOn(db *relation.Database, d *schema.Schema, x schema.AttrSet) (*relation.Relation, *program.Stats, error) {
+	pl, err := e.Plan(d, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	adb, err := alignDatabase(pl.D, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := e.execs.Get().(*relation.Exec)
+	defer e.execs.Put(ex)
+	out, st, err := pl.Prog.EvalExec(adb, ex)
+	if err == nil {
+		e.evals.Add(1)
+	}
+	return out, st, err
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		PlanHits:   e.hits.Load(),
+		PlanMisses: e.misses.Load(),
+		Evals:      e.evals.Load(),
+	}
+	if e.cache != nil {
+		e.mu.Lock()
+		s.CachedPlans = e.cache.len()
+		e.mu.Unlock()
+	}
+	return s
+}
+
+// sameOrder reports whether d and e list identical relation schemas at
+// identical positions.
+func sameOrder(d, e *schema.Schema) bool {
+	if len(d.Rels) != len(e.Rels) {
+		return false
+	}
+	for i := range d.Rels {
+		if !d.Rels[i].Equal(e.Rels[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// alignDatabase returns a view of db whose relation order matches d (a
+// multiset-equal schema, possibly with its relations permuted — the
+// plan cache hits across orderings, but program statement ids are
+// positional). Equal relation schemas keep their relative order, so
+// duplicate-schema relations map to the states at the matching
+// positions. When db is already aligned it is returned as-is.
+func alignDatabase(d *schema.Schema, db *relation.Database) (*relation.Database, error) {
+	if db.D == d {
+		return db, nil
+	}
+	if len(db.D.Rels) != len(d.Rels) {
+		return nil, fmt.Errorf("engine: database schema %s ≠ plan schema %s", db.D, d)
+	}
+	if sameOrder(d, db.D) {
+		return db, nil
+	}
+	out := &relation.Database{D: d, Rels: make([]*relation.Relation, len(d.Rels)), Univ: db.Univ}
+	used := make([]bool, len(db.Rels))
+	for i, r := range d.Rels {
+		found := -1
+		for j := range db.Rels {
+			if !used[j] && db.D.Rels[j].Equal(r) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("engine: database schema %s ≠ plan schema %s", db.D, d)
+		}
+		used[found] = true
+		out.Rels[i] = db.Rels[found]
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package engine
+
+import "container/list"
+
+// cacheKey identifies a cached plan: the order-independent schema
+// fingerprint plus the target-set fingerprint (classifyFP for
+// classification-only entries). Keys are probabilistic — hits are
+// verified against the actual schema before being served.
+type cacheKey struct {
+	schemaFP uint64
+	targetFP uint64
+}
+
+// lruCache is a fixed-capacity LRU over compiled plans. It is not
+// itself synchronized; the Engine guards it with a mutex (operations
+// are O(1) map/list work, orders of magnitude cheaper than the
+// planning they replace, so one lock does not become the bottleneck).
+type lruCache struct {
+	cap   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key  cacheKey
+	plan *Plan
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		items: make(map[cacheKey]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+func (c *lruCache) get(key cacheKey) (*Plan, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).plan, true
+}
+
+func (c *lruCache) put(key cacheKey, pl *Plan) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).plan = pl
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, plan: pl})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

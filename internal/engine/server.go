@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gyokit/internal/program"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+// Server exposes an Engine over HTTP — the gyod API. Three JSON
+// endpoints mirror the paper's pipeline:
+//
+//	POST /classify  {"schema": "ab, bc, cd"}           §3 classification
+//	POST /plan      {"schema": "...", "x": "ad"}       compiled §4/§6 program
+//	POST /solve     {"x": "ad", "schema"?, "limit"?}   evaluate on the snapshot
+//
+// plus GET /stats (engine counters and snapshot cardinalities) and
+// GET /healthz.
+//
+// Client input never grows the serving Universe: /classify and /plan
+// parse into a throwaway per-request universe (the plan cache still
+// hits for repeated request texts, since its fingerprints are
+// name-based), and /solve resolves names against the serving universe
+// by lookup only, rejecting unknown attributes. A client streaming
+// fresh attribute names therefore cannot leak memory into the server.
+type Server struct {
+	E *Engine
+	// U is the serving universe: the attribute names of the serving
+	// schema D. /solve requests resolve against it without interning.
+	U *schema.Universe
+	// D is the serving schema: the default for /solve when the request
+	// omits "schema". May be nil when the server has no database.
+	D *schema.Schema
+	// MaxTuples caps the tuples echoed by /solve (the cardinality is
+	// always reported in full). Zero means DefaultMaxTuples.
+	MaxTuples int
+}
+
+// DefaultMaxTuples is the /solve response tuple cap when Server leaves
+// MaxTuples at zero.
+const DefaultMaxTuples = 1000
+
+// NewServer returns a Server over e. d (with its universe u) is the
+// serving schema backing /solve; it may be nil for a planning-only
+// server.
+func NewServer(e *Engine, u *schema.Universe, d *schema.Schema) *Server {
+	return &Server{E: e, U: u, D: d}
+}
+
+// Handler returns the HTTP handler serving the gyod API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type classifyRequest struct {
+	Schema string `json:"schema"`
+}
+
+// ClassifyResponse is the /classify reply.
+type ClassifyResponse struct {
+	Schema       string   `json:"schema"`
+	Tree         bool     `json:"tree"`
+	GammaAcyclic bool     `json:"gammaAcyclic"`
+	GR           string   `json:"gr"`
+	TreefyWith   string   `json:"treefyWith,omitempty"` // Corollary 3.2 relation, cyclic only
+	QualTree     [][2]int `json:"qualTree,omitempty"`   // edges over relation indexes, tree only
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	u := schema.NewUniverse() // per-request: client names never enter s.U
+	d, err := schema.Parse(u, req.Schema)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, err := s.E.Classify(d)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ClassifyResponse{
+		Schema:       d.String(),
+		Tree:         cls.Tree,
+		GammaAcyclic: cls.GammaAcyclic,
+		GR:           cls.GR.String(),
+	}
+	if cls.Tree {
+		resp.QualTree = cls.QualTree.Edges()
+	} else {
+		resp.TreefyWith = u.FormatSet(cls.TreefyingRelation)
+	}
+	writeJSON(w, resp)
+}
+
+type planRequest struct {
+	Schema string `json:"schema"`
+	X      string `json:"x"`
+}
+
+// PlanStmt is one program statement in a /plan reply. Right is -1 for
+// projections, which have a single operand.
+type PlanStmt struct {
+	ID    int    `json:"id"`
+	Op    string `json:"op"`
+	Left  int    `json:"left"`
+	Right int    `json:"right"`
+	Proj  string `json:"proj,omitempty"`
+}
+
+// PlanResponse is the /plan reply.
+type PlanResponse struct {
+	Schema string     `json:"schema"`
+	X      string     `json:"x"`
+	Tree   bool       `json:"tree"`
+	Stmts  []PlanStmt `json:"stmts"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	u := schema.NewUniverse() // per-request: client names never enter s.U
+	d, err := schema.Parse(u, req.Schema)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	x, err := parseTarget(u, req.X)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pl, err := s.E.Plan(d, x)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Format everything through the plan's own universe: on a cache hit
+	// pl may predate this request, and only its universe is guaranteed
+	// to name its AttrSets correctly.
+	resp := PlanResponse{
+		Schema: pl.D.String(),
+		X:      pl.D.U.FormatSet(pl.X),
+		Tree:   pl.Cls.Tree,
+		Stmts:  make([]PlanStmt, len(pl.Prog.Stmts)),
+	}
+	n := len(pl.D.Rels)
+	for i, st := range pl.Prog.Stmts {
+		ps := PlanStmt{ID: n + i, Op: st.Kind.String(), Left: st.Left, Right: st.Right}
+		if st.Kind == program.Project {
+			ps.Right = -1
+			ps.Proj = pl.D.U.FormatSet(st.Proj)
+		}
+		resp.Stmts[i] = ps
+	}
+	writeJSON(w, resp)
+}
+
+type solveRequest struct {
+	X      string `json:"x"`
+	Schema string `json:"schema,omitempty"` // defaults to the serving schema
+	Limit  int    `json:"limit,omitempty"`  // tuple-echo cap for this request
+}
+
+// SolveStats is the cost report embedded in a /solve reply.
+type SolveStats struct {
+	Statements      int   `json:"statements"`
+	TuplesProduced  int   `json:"tuplesProduced"`
+	MaxIntermediate int   `json:"maxIntermediate"`
+	Joins           int   `json:"joins"`
+	Projects        int   `json:"projects"`
+	Semijoins       int   `json:"semijoins"`
+	ElapsedNs       int64 `json:"elapsedNs"`
+}
+
+// SolveResponse is the /solve reply. Tuples holds up to the configured
+// cap of result rows in Cols order; Card is always the full count.
+type SolveResponse struct {
+	X         string             `json:"x"`
+	Cols      []string           `json:"cols"`
+	Card      int                `json:"card"`
+	Tuples    [][]relation.Value `json:"tuples"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Stats     SolveStats         `json:"stats"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	d := s.D
+	if req.Schema != "" {
+		var err error
+		if d, err = s.lookupSchema(req.Schema); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if d == nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("no serving schema configured; pass \"schema\""))
+		return
+	}
+	x, err := s.lookupTarget(req.X)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, st, err := s.E.Solve(d, x)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The client may lower the echo cap per request but never raise it
+	// past the server's bound.
+	capTuples := s.MaxTuples
+	if capTuples <= 0 {
+		capTuples = DefaultMaxTuples
+	}
+	limit := capTuples
+	if req.Limit > 0 && req.Limit < capTuples {
+		limit = req.Limit
+	}
+	cols := out.Cols()
+	resp := SolveResponse{
+		X:    s.U.FormatSet(x),
+		Cols: make([]string, len(cols)),
+		Card: out.Card(),
+		Stats: SolveStats{
+			Statements:      len(st.PerStmt),
+			TuplesProduced:  st.TuplesProduced,
+			MaxIntermediate: st.MaxIntermediate,
+			Joins:           st.Joins,
+			Projects:        st.Projects,
+			Semijoins:       st.Semijoins,
+			ElapsedNs:       st.Elapsed.Nanoseconds(),
+		},
+	}
+	for i, c := range cols {
+		resp.Cols[i] = s.U.Name(c)
+	}
+	echo := out.Card()
+	if echo > limit {
+		echo = limit
+		resp.Truncated = true
+	}
+	resp.Tuples = make([][]relation.Value, echo)
+	for i := 0; i < echo; i++ {
+		resp.Tuples[i] = append([]relation.Value(nil), out.TupleAt(i)...)
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	PlanHits     uint64 `json:"planHits"`
+	PlanMisses   uint64 `json:"planMisses"`
+	CachedPlans  int    `json:"cachedPlans"`
+	Evals        uint64 `json:"evals"`
+	Schema       string `json:"schema,omitempty"`
+	SnapshotCard []int  `json:"snapshotCard,omitempty"` // per-relation cardinalities
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.E.Stats()
+	resp := StatsResponse{
+		PlanHits:    st.PlanHits,
+		PlanMisses:  st.PlanMisses,
+		CachedPlans: st.CachedPlans,
+		Evals:       st.Evals,
+	}
+	if s.D != nil {
+		resp.Schema = s.D.String()
+	}
+	if db := s.E.Snapshot(); db != nil {
+		resp.SnapshotCard = make([]int, len(db.Rels))
+		for i, rel := range db.Rels {
+			resp.SnapshotCard[i] = rel.Card()
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// parseTarget parses a target attribute set, rejecting the empty set
+// (a degenerate query the program builders error on anyway, with a
+// clearer message here).
+func parseTarget(u *schema.Universe, s string) (schema.AttrSet, error) {
+	if s == "" {
+		return schema.AttrSet{}, fmt.Errorf("missing target attribute set \"x\"")
+	}
+	d, err := schema.Parse(u, s)
+	if err != nil {
+		return schema.AttrSet{}, err
+	}
+	if len(d.Rels) != 1 {
+		return schema.AttrSet{}, fmt.Errorf("target %q must be a single attribute set", s)
+	}
+	return d.Rels[0], nil
+}
+
+// lookupSchema parses text into a throwaway universe and translates it
+// into the serving universe by lookup only: /solve must produce
+// AttrSets over s.U (to align with the snapshot), but client requests
+// must not grow s.U, so names the serving schema does not know are a
+// request error rather than a fresh interning.
+func (s *Server) lookupSchema(text string) (*schema.Schema, error) {
+	tmp := schema.NewUniverse()
+	d, err := schema.Parse(tmp, text)
+	if err != nil {
+		return nil, err
+	}
+	out := &schema.Schema{U: s.U}
+	for _, r := range d.Rels {
+		set, err := s.lookupSet(tmp, r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rels = append(out.Rels, set)
+	}
+	return out, nil
+}
+
+// lookupTarget is parseTarget against the serving universe, lookup only.
+func (s *Server) lookupTarget(text string) (schema.AttrSet, error) {
+	tmp := schema.NewUniverse()
+	x, err := parseTarget(tmp, text)
+	if err != nil {
+		return schema.AttrSet{}, err
+	}
+	return s.lookupSet(tmp, x)
+}
+
+// lookupSet maps a set over tmp into the serving universe by name.
+func (s *Server) lookupSet(tmp *schema.Universe, set schema.AttrSet) (schema.AttrSet, error) {
+	var ids []schema.Attr
+	var unknown string
+	set.ForEach(func(a schema.Attr) bool {
+		name := tmp.Name(a)
+		id, ok := s.U.Lookup(name)
+		if !ok {
+			unknown = name
+			return false
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if unknown != "" {
+		return schema.AttrSet{}, fmt.Errorf("attribute %q not in serving schema", unknown)
+	}
+	return schema.NewAttrSet(ids...), nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gyokit/internal/schema"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *schema.Universe, *Server) {
+	t.Helper()
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd")
+	e := New(Options{})
+	e.Swap(urdb(d, 5, 50, 4))
+	srv := NewServer(e, u, d)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, u, srv
+}
+
+func post(t *testing.T, url string, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServerClassify(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	var tree ClassifyResponse
+	post(t, ts.URL+"/classify", `{"schema": "ab, bc, cd"}`, &tree)
+	if !tree.Tree || !tree.GammaAcyclic || len(tree.QualTree) != 2 {
+		t.Errorf("chain classification = %+v", tree)
+	}
+
+	var ring ClassifyResponse
+	post(t, ts.URL+"/classify", `{"schema": "ab, bc, ca"}`, &ring)
+	if ring.Tree || ring.TreefyWith != "abc" {
+		t.Errorf("Aring(3) classification = %+v", ring)
+	}
+}
+
+func TestServerPlan(t *testing.T) {
+	ts, _, srv := testServer(t)
+
+	var plan PlanResponse
+	post(t, ts.URL+"/plan", `{"schema": "ab, bc, cd", "x": "ad"}`, &plan)
+	if !plan.Tree || len(plan.Stmts) == 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	semijoins := 0
+	for _, st := range plan.Stmts {
+		if st.Op == "semijoin" {
+			semijoins++
+		}
+		if st.Op == "project" && (st.Right != -1 || st.Proj == "") {
+			t.Errorf("bad projection statement %+v", st)
+		}
+	}
+	if semijoins == 0 {
+		t.Error("Yannakakis plan has no semijoin statements")
+	}
+
+	// Repeat request hits the plan cache.
+	before := srv.E.Stats().PlanHits
+	post(t, ts.URL+"/plan", `{"schema": "ab, bc, cd", "x": "ad"}`, &plan)
+	if srv.E.Stats().PlanHits != before+1 {
+		t.Error("repeated /plan did not hit the cache")
+	}
+}
+
+func TestServerSolve(t *testing.T) {
+	ts, u, srv := testServer(t)
+
+	var sol SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &sol)
+	want := srv.E.Snapshot().Eval(u.Set("a", "d"))
+	if sol.Card != want.Card() {
+		t.Errorf("/solve card = %d, want %d", sol.Card, want.Card())
+	}
+	if len(sol.Cols) != 2 || sol.Cols[0] != "a" || sol.Cols[1] != "d" {
+		t.Errorf("/solve cols = %v", sol.Cols)
+	}
+	if len(sol.Tuples) != sol.Card || sol.Truncated {
+		t.Errorf("/solve echoed %d/%d tuples (truncated=%v)", len(sol.Tuples), sol.Card, sol.Truncated)
+	}
+	if sol.Stats.Statements == 0 || sol.Stats.Semijoins == 0 {
+		t.Errorf("/solve stats = %+v", sol.Stats)
+	}
+
+	// Tuple cap.
+	var capped SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad", "limit": 1}`, &capped)
+	if capped.Card != sol.Card || len(capped.Tuples) > 1 || (capped.Card > 1 && !capped.Truncated) {
+		t.Errorf("capped /solve = card %d, %d tuples, truncated=%v", capped.Card, len(capped.Tuples), capped.Truncated)
+	}
+
+	// A client limit can lower but never exceed the server's cap.
+	srv.MaxTuples = 2
+	var greedy SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad", "limit": 2000000000}`, &greedy)
+	if len(greedy.Tuples) > 2 {
+		t.Errorf("client limit overrode server cap: %d tuples echoed", len(greedy.Tuples))
+	}
+}
+
+func TestServerErrorsAndStats(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	if resp := post(t, ts.URL+"/solve", `{"x": ""}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing x: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/classify", `{"schema": "a-b"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad schema: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/classify", `not json`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /classify: status %d", resp.StatusCode)
+	}
+	// Solving a schema that does not match the snapshot is a 400, not a 500.
+	if resp := post(t, ts.URL+"/solve", `{"schema": "xy, yz", "x": "xz"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched solve schema: status %d", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SnapshotCard) != 3 || st.Schema == "" {
+		t.Errorf("/stats = %+v", st)
+	}
+}
+
+// TestServerUniverseDoesNotGrow locks in the DoS hardening: client
+// requests carrying fresh attribute names must not intern anything
+// into the serving universe, and /solve must reject unknown names.
+func TestServerUniverseDoesNotGrow(t *testing.T) {
+	ts, u, _ := testServer(t)
+	before := u.Size()
+
+	post(t, ts.URL+"/classify", `{"schema": "pq, qr, rs"}`, nil)
+	post(t, ts.URL+"/plan", `{"schema": "mn, no", "x": "mo"}`, nil)
+	if resp := post(t, ts.URL+"/solve", `{"x": "az"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/solve with unknown attribute: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/solve", `{"schema": "ab, zz", "x": "ab"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/solve with unknown schema attribute: status %d, want 400", resp.StatusCode)
+	}
+
+	if after := u.Size(); after != before {
+		t.Errorf("serving universe grew from %d to %d attributes on client input", before, after)
+	}
+
+	// Known names keep working through the lookup-only path.
+	var sol SolveResponse
+	post(t, ts.URL+"/solve", `{"schema": "ab, bc, cd", "x": "ad"}`, &sol)
+	if sol.Card == 0 {
+		t.Error("lookup-only /solve with explicit schema failed")
+	}
+}
+
+// TestServerConcurrentRequests drives the full HTTP path from many
+// goroutines — including new schema texts that intern concurrently —
+// and is meaningful mainly under -race.
+func TestServerConcurrentRequests(t *testing.T) {
+	ts, _, _ := testServer(t)
+	schemas := []string{
+		`{"schema": "ab, bc, cd", "x": "ad"}`,
+		`{"schema": "pq, qr", "x": "pr"}`,
+		`{"schema": "ab, bc, ca", "x": "ab"}`,
+		`{"schema": "uv, vw, wx, xy", "x": "uy"}`,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body := schemas[(g+i)%len(schemas)]
+				resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: /plan status %d for %s", g, resp.StatusCode, body)
+					return
+				}
+				resp, err = http.Post(ts.URL+"/solve", "application/json", bytes.NewReader([]byte(`{"x": "ad"}`)))
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: /solve status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

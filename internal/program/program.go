@@ -176,10 +176,22 @@ func (st *Stats) Table() string {
 
 // Eval runs the program over a database state for D and returns the
 // final relation (the last statement's value) plus cost statistics.
-// The whole statement sequence shares one relation.Exec, so hash
-// tables and scratch buffers are allocated once per run, not per
-// statement.
+// It is EvalExec with a throwaway execution context.
 func (p *Program) Eval(db *relation.Database) (*relation.Relation, *Stats, error) {
+	return p.EvalExec(db, relation.NewExec())
+}
+
+// EvalExec is Eval with a caller-supplied execution context: the whole
+// statement sequence shares ex, so hash tables and scratch buffers are
+// allocated once per run — and a server pooling Exec values across
+// requests amortizes them across runs too.
+//
+// EvalExec never mutates db: input relations are read-only operands
+// (every statement materializes a fresh output relation), the Rels
+// slice is copied before any statement runs, and db may be a frozen
+// snapshot shared by any number of concurrent evaluations. ex, in
+// contrast, is exclusive to one run at a time.
+func (p *Program) EvalExec(db *relation.Database, ex *relation.Exec) (*relation.Relation, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -192,7 +204,6 @@ func (p *Program) Eval(db *relation.Database) (*relation.Relation, *Stats, error
 	vals := make([]*relation.Relation, len(db.Rels), p.NumIDs())
 	copy(vals, db.Rels)
 	st := &Stats{}
-	ex := relation.NewExec()
 	start := time.Now()
 	for _, s := range p.Stmts {
 		var out *relation.Relation

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"gyokit/internal/schema"
 )
@@ -32,6 +33,12 @@ type Value = int32
 type Tuple []Value
 
 // Relation is a relation state over a fixed attribute set.
+//
+// A Relation is safe for concurrent READS (operators never mutate their
+// inputs); mutation via Insert/InsertMap is single-writer. Freeze marks
+// a relation immutable, turning later Inserts into panics — the serving
+// layer freezes every relation of a published Database snapshot so that
+// accidental writes to shared state fail loudly instead of racing.
 type Relation struct {
 	U      *schema.Universe
 	attrs  schema.AttrSet
@@ -41,6 +48,7 @@ type Relation struct {
 	hashes []uint64 // hashes[i] = hashValues(row i)
 	slots  []int32  // open addressing: row index + 1; 0 = empty
 	n      int
+	frozen atomic.Bool
 }
 
 // New returns an empty relation over the given attribute set.
@@ -77,6 +85,11 @@ func (r *Relation) Tuples() []Tuple {
 	}
 	return out
 }
+
+// TupleAt returns row i as a view into the arena (shared; callers must
+// not modify). For bounded iteration it avoids Tuples' O(Card) slice
+// of row headers.
+func (r *Relation) TupleAt(i int) Tuple { return Tuple(r.row(i)) }
 
 // growIndex (re)builds the open-addressing table at double capacity,
 // reusing the stored row hashes so rows are never re-hashed.
@@ -140,8 +153,12 @@ func (r *Relation) contains(vals []Value, h uint64) bool {
 }
 
 // Insert adds a tuple given in column order. Duplicates are ignored.
-// It panics if the arity is wrong (programmer error).
+// It panics if the arity is wrong or the relation is frozen
+// (programmer errors).
 func (r *Relation) Insert(t Tuple) {
+	if r.frozen.Load() {
+		panic("relation: insert into frozen relation (clone the snapshot first)")
+	}
 	if len(t) != r.width {
 		panic(fmt.Sprintf("relation: arity %d ≠ %d", len(t), r.width))
 	}
@@ -170,7 +187,8 @@ func (r *Relation) Has(t Tuple) bool {
 	return r.contains(t, hashValues(t))
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy is never frozen, so cloning is
+// the copy-on-write escape hatch for modifying a snapshot relation.
 func (r *Relation) Clone() *Relation {
 	out := New(r.U, r.attrs)
 	out.data = append([]Value(nil), r.data...)
@@ -179,6 +197,13 @@ func (r *Relation) Clone() *Relation {
 	out.n = r.n
 	return out
 }
+
+// Freeze marks the relation immutable: subsequent Inserts panic.
+// Freezing is idempotent and safe to call concurrently with reads.
+func (r *Relation) Freeze() { r.frozen.Store(true) }
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen.Load() }
 
 // Equal reports whether r and s have the same attribute set and the
 // same tuple set.
@@ -271,10 +296,59 @@ func RandomUniversal(u *schema.Universe, attrs schema.AttrSet, n, domain int, rn
 
 // Database is a universal-relation database state: one relation per
 // relation schema of D, in the same order.
+//
+// Databases support snapshot semantics for concurrent serving: Freeze
+// marks every relation immutable, Clone takes an O(|D|) shallow
+// snapshot sharing the frozen relation states, and the copy-on-write
+// mutators (WithRelation, InsertTuple) derive new snapshots without
+// touching the original — so any number of readers can evaluate
+// against one snapshot while a writer prepares and atomically swaps in
+// the next.
 type Database struct {
 	D    *schema.Schema
 	Rels []*Relation
 	Univ *Relation // the generating universal relation (may be nil)
+}
+
+// Clone returns a shallow snapshot: a new Database sharing the same
+// schema and relation states. O(|D|). Use the copy-on-write mutators to
+// derive modified snapshots.
+func (db *Database) Clone() *Database {
+	return &Database{D: db.D, Rels: append([]*Relation(nil), db.Rels...), Univ: db.Univ}
+}
+
+// Freeze marks every relation state (including the generating universal
+// relation) immutable. Idempotent.
+func (db *Database) Freeze() {
+	for _, r := range db.Rels {
+		r.Freeze()
+	}
+	if db.Univ != nil {
+		db.Univ.Freeze()
+	}
+}
+
+// WithRelation returns a snapshot of db with relation i replaced by r
+// (copy-on-write: db is unchanged). r must have the same attribute set
+// as the relation it replaces.
+func (db *Database) WithRelation(i int, r *Relation) *Database {
+	if !r.Attrs().Equal(db.Rels[i].Attrs()) {
+		panic(fmt.Sprintf("relation: WithRelation schema %s ≠ %s",
+			r.U.FormatSet(r.attrs), r.U.FormatSet(db.Rels[i].attrs)))
+	}
+	out := db.Clone()
+	out.Rels[i] = r
+	return out
+}
+
+// InsertTuple returns a snapshot of db in which t has been inserted
+// into relation i. Only relation i is deep-copied; db and all its
+// relation states are unchanged, so it is safe to call on a frozen
+// snapshot while readers evaluate against it.
+func (db *Database) InsertTuple(i int, t Tuple) *Database {
+	r := db.Rels[i].Clone()
+	r.Insert(t)
+	return db.WithRelation(i, r)
 }
 
 // URDatabase builds the UR database D = {π_R(I) | R ∈ D} from the

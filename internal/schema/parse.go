@@ -17,8 +17,9 @@ import (
 //	"abc, cde, ace, afe"
 //	"user id, id name"
 //
-// All attributes are interned into u. Whitespace around separators is
-// ignored. An empty relation schema may be written as "∅" or "{}".
+// Attribute names are alphanumeric (letters and digits, Unicode-aware);
+// all are interned into u. Whitespace around separators is ignored. An
+// empty relation schema may be written as "∅" or "{}".
 func Parse(u *Universe, s string) (*Schema, error) {
 	s = strings.TrimSpace(s)
 	s = strings.TrimPrefix(s, "(")
@@ -49,28 +50,39 @@ func parseRel(u *Universe, part string) (AttrSet, error) {
 	var s AttrSet
 	if len(fields) == 1 {
 		// Single token: treat each rune as a one-letter attribute, the
-		// paper's "abc" style — unless the token contains non-letters or
-		// uppercase mixing suggests a real identifier.
+		// paper's "abc" style.
 		tok := fields[0]
-		allSingle := true
+		if !alnum(tok) {
+			return AttrSet{}, fmt.Errorf("schema: cannot parse relation schema %q", part)
+		}
 		for _, r := range tok {
-			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
-				allSingle = false
-				break
-			}
+			s.add(u.Attr(string(r)))
 		}
-		if allSingle {
-			for _, r := range tok {
-				s.add(u.Attr(string(r)))
-			}
-			return s, nil
-		}
-		return AttrSet{}, fmt.Errorf("schema: cannot parse relation schema %q", part)
+		return s, nil
 	}
 	for _, f := range fields {
+		// Multi-character names must be alphanumeric identifiers so
+		// that formatted schemas re-parse (found by FuzzParse: junk
+		// bytes interned as names broke the String→Parse round trip).
+		if !alnum(f) {
+			return AttrSet{}, fmt.Errorf("schema: invalid attribute name %q in %q", f, part)
+		}
 		s.add(u.Attr(f))
 	}
 	return s, nil
+}
+
+// alnum reports whether s is non-empty and all letters/digits.
+func alnum(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
 }
 
 // MustParse is Parse that panics on error; for tests and fixed examples.

@@ -4,14 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Universe interns attribute names. All schemas participating in one
 // analysis must share a Universe so that their bitsets line up.
 //
-// A Universe is not safe for concurrent mutation; concurrent reads are
-// fine once interning is complete.
+// A Universe is safe for concurrent use: interning takes a write lock
+// and lookups take a read lock, so a serving layer can parse new
+// schemas while other goroutines format or fingerprint existing ones.
+// Attribute ids are append-only — once interned, an id never changes.
 type Universe struct {
+	mu    sync.RWMutex
 	names []string
 	index map[string]Attr
 }
@@ -24,10 +28,18 @@ func NewUniverse() *Universe {
 // Attr interns name and returns its attribute id, allocating a new id for
 // unseen names.
 func (u *Universe) Attr(name string) Attr {
-	if a, ok := u.index[name]; ok {
+	u.mu.RLock()
+	a, ok := u.index[name]
+	u.mu.RUnlock()
+	if ok {
 		return a
 	}
-	a := Attr(len(u.names))
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if a, ok := u.index[name]; ok { // interned while upgrading the lock
+		return a
+	}
+	a = Attr(len(u.names))
 	u.names = append(u.names, name)
 	u.index[name] = a
 	return a
@@ -36,6 +48,8 @@ func (u *Universe) Attr(name string) Attr {
 // Lookup returns the id for name without interning. ok is false when the
 // name has never been interned.
 func (u *Universe) Lookup(name string) (a Attr, ok bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	a, ok = u.index[name]
 	return a, ok
 }
@@ -43,6 +57,8 @@ func (u *Universe) Lookup(name string) (a Attr, ok bool) {
 // Name returns the interned name of a. It panics if a was never allocated
 // by this universe.
 func (u *Universe) Name(a Attr) string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	if int(a) < 0 || int(a) >= len(u.names) {
 		panic(fmt.Sprintf("schema: attribute %d not in universe (size %d)", a, len(u.names)))
 	}
@@ -50,10 +66,16 @@ func (u *Universe) Name(a Attr) string {
 }
 
 // Size returns the number of interned attributes.
-func (u *Universe) Size() int { return len(u.names) }
+func (u *Universe) Size() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.names)
+}
 
 // All returns the set of every interned attribute.
 func (u *Universe) All() AttrSet {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	var s AttrSet
 	for i := range u.names {
 		s.add(Attr(i))
@@ -83,7 +105,9 @@ func (u *Universe) FormatSet(s AttrSet) string {
 	compact := true
 	for i, a := range attrs {
 		parts[i] = u.Name(a)
-		if len(parts[i]) != 1 {
+		// Concatenation must survive a round trip through Parse, whose
+		// single-token path splits on letter/digit runes only.
+		if len(parts[i]) != 1 || !isAlnumByte(parts[i][0]) {
 			compact = false
 		}
 	}
@@ -93,4 +117,9 @@ func (u *Universe) FormatSet(s AttrSet) string {
 		return strings.Join(parts, "")
 	}
 	return strings.Join(parts, " ")
+}
+
+// isAlnumByte reports whether b is an ASCII letter or digit.
+func isAlnumByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
 }
