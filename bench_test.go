@@ -228,6 +228,87 @@ func BenchmarkEvalYannakakisLarge(b *testing.B) {
 	}
 }
 
+// --- partition-parallel program execution ---------------------------
+
+// parallelProgramSetup builds the acceptance-criteria workload: a
+// 5-chain semijoin program (Yannakakis: full reducer + bottom-up join)
+// over a 10k-tuple universal relation — the scale where fan-out beats
+// the goroutine overhead.
+func parallelProgramSetup(b *testing.B) (*program.Program, *relation.Database) {
+	b.Helper()
+	d := gen.Chain(5)
+	attrs := d.Attrs().Attrs()
+	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 10000, 64, gen.RNG(10000))
+	db := relation.URDatabase(d, i)
+	tr, ok := qualgraph.QualTree(d)
+	if !ok {
+		b.Fatal("chain rejected")
+	}
+	plan, err := program.Yannakakis(d, x, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, db
+}
+
+// BenchmarkSemijoinProgramSerial is the single-threaded baseline the
+// parallel executor must beat at P≥4 (acceptance criteria; compare
+// against BenchmarkSemijoinProgramParallel/p=4).
+func BenchmarkSemijoinProgramSerial(b *testing.B) {
+	plan, db := parallelProgramSetup(b)
+	ex := relation.NewExec()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, _, err := plan.EvalExec(db, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemijoinProgramParallel runs the same program
+// partition-parallel at P shards (forced: MinParallel 0), measuring
+// the full pipeline — repartitions, shard-local semijoins/joins, and
+// the final merge.
+func BenchmarkSemijoinProgramParallel(b *testing.B) {
+	plan, db := parallelProgramSetup(b)
+	for _, p := range []int{2, 4, 8} {
+		pe := relation.NewParExec(p)
+		pe.MinParallel = 0
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				if _, _, err := plan.EvalPar(db, pe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSolvePar measures the serving path end-to-end with
+// per-request parallelism: cached plan, pooled ParExec, one frozen
+// snapshot.
+func BenchmarkEngineSolvePar(b *testing.B) {
+	d := gen.Chain(5)
+	attrs := d.Attrs().Attrs()
+	x := schema.NewAttrSet(attrs[0], attrs[len(attrs)-1])
+	i, _ := relation.RandomUniversal(d.U, d.Attrs(), 10000, 64, gen.RNG(10000))
+	for _, p := range []int{1, 4} {
+		e := gyokit.NewEngine(gyokit.EngineOptions{Workers: p})
+		e.Swap(relation.URDatabase(d, i))
+		if _, _, err := e.SolvePar(d, x, p); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				if _, _, err := e.SolvePar(d, x, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- E-PERF5: join-tree construction -------------------------------
 
 func BenchmarkJoinTreeMST(b *testing.B) {

@@ -1,0 +1,199 @@
+package main
+
+// Benchmark-trajectory support: -json converts `go test -bench` text
+// output into a stable BENCH_<sha>.json document, and -gate compares
+// such a document against a committed baseline, failing on
+// regressions. CI runs both (see .github/workflows/ci.yml,
+// bench-trajectory job):
+//
+//	go test -run '^$' -bench . -benchtime=3x -count=3 ./... > bench.out
+//	gyobench -json -sha "$GITHUB_SHA" < bench.out > BENCH_$GITHUB_SHA.json
+//	gyobench -gate BENCH_baseline.json < BENCH_$GITHUB_SHA.json
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchFile is the BENCH_<sha>.json document: one entry per benchmark
+// (sub-benchmarks keep their full slash-separated name), aggregated
+// over -count repetitions by minimum, the standard noise-robust
+// reduction.
+type BenchFile struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	SHA           string       `json:"sha,omitempty"`
+	GoOS          string       `json:"goos"`
+	GoArch        string       `json:"goarch"`
+	Benchmarks    []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one benchmark's aggregated result.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"` // -count repetitions seen
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkJoinColumnar/n=10000-8  	     100	   7301234 ns/op	  12 B/op	   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// stripProcs removes the trailing -<GOMAXPROCS> suffix go test appends
+// to benchmark names, so documents from machines with different core
+// counts stay comparable.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBenchText reads `go test -bench` output and aggregates result
+// lines per benchmark name (minimum ns/op across repetitions).
+func parseBenchText(r io.Reader) ([]BenchEntry, error) {
+	agg := map[string]*BenchEntry{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e, ok := agg[name]
+		if !ok {
+			e = &BenchEntry{Name: name, NsPerOp: ns}
+			agg[name] = e
+			order = append(order, name)
+		}
+		e.Runs++
+		if ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		if m[4] != "" {
+			if b, err := strconv.ParseInt(m[4], 10, 64); err == nil && (e.Runs == 1 || b < e.BytesPerOp) {
+				e.BytesPerOp = b
+			}
+		}
+		if m[5] != "" {
+			if a, err := strconv.ParseInt(m[5], 10, 64); err == nil && (e.Runs == 1 || a < e.AllocsPerOp) {
+				e.AllocsPerOp = a
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(agg) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	out := make([]BenchEntry, 0, len(agg))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	return out, nil
+}
+
+// emitJSON converts bench text on stdin to a BenchFile on stdout.
+func emitJSON(sha string) error {
+	entries, err := parseBenchText(os.Stdin)
+	if err != nil {
+		return err
+	}
+	doc := BenchFile{
+		SchemaVersion: 1,
+		SHA:           sha,
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		Benchmarks:    entries,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// gate compares the BenchFile on stdin against the baseline file:
+// every baseline benchmark whose name matches pattern must not be
+// slower than maxRegress × its baseline ns/op in the current document.
+// Benchmarks present only on one side are reported but (for new ones)
+// tolerated; a gated baseline benchmark missing from the current run
+// fails, since silence must not pass the gate.
+func gate(baselinePath, pattern string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base BenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	var cur BenchFile
+	if err := json.NewDecoder(os.Stdin).Decode(&cur); err != nil {
+		return fmt.Errorf("current document (stdin): %w", err)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("gate pattern: %w", err)
+	}
+	curByName := map[string]BenchEntry{}
+	for _, e := range cur.Benchmarks {
+		curByName[e.Name] = e
+	}
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if re.MatchString(b.Name) {
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+	byName := map[string]BenchEntry{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, name := range names {
+		b := byName[name]
+		c, ok := curByName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > maxRegress {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx)",
+				name, c.NsPerOp, b.NsPerOp, ratio, maxRegress))
+		}
+		fmt.Printf("%-60s %12.0f %12.0f %8.2fx  %s\n", name, b.NsPerOp, c.NsPerOp, ratio, status)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("gate pattern %q matches no baseline benchmarks", pattern)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%%:\n  %s",
+			len(failures), (maxRegress-1)*100, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of baseline\n", len(names), (maxRegress-1)*100)
+	return nil
+}

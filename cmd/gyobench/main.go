@@ -1,7 +1,9 @@
 // Command gyobench regenerates every experiment in EXPERIMENTS.md: the
 // paper's figures and worked examples (asserted reproductions) plus
 // the synthetic performance tables. With -parallel it instead becomes
-// a load driver that hammers a serving engine from N goroutines.
+// a load driver that hammers a serving engine from N goroutines; with
+// -json / -gate it is the benchmark-trajectory tool CI uses to record
+// and police performance.
 //
 // Usage:
 //
@@ -11,7 +13,14 @@
 //	gyobench -time        print per-experiment wall time
 //	gyobench -parallel 8 [-duration 2s] [-schema "ab, bc, cd"]
 //	                      [-tuples 5000] [-domain 32] [-nowriter]
-//	                      load-test an Engine and report throughput
+//	                      [-shards P]
+//	                      load-test an Engine; report throughput and
+//	                      p50/p95/p99 latency
+//	gyobench -json [-sha SHA] < bench.out > BENCH_SHA.json
+//	                      convert `go test -bench` output to JSON
+//	gyobench -gate BENCH_baseline.json [-gatepattern 'Join|Semijoin']
+//	                      [-maxregress 1.2] < BENCH_SHA.json
+//	                      fail if gated benchmarks regressed
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,10 +49,30 @@ func main() {
 	tuples := flag.Int("tuples", 5000, "load-driver universal tuples")
 	domain := flag.Int("domain", 32, "load-driver value domain")
 	nowriter := flag.Bool("nowriter", false, "load-driver: disable the snapshot-swapping writer")
+	shards := flag.Int("shards", 1, "load-driver: per-request partition parallelism (1 = serial)")
+	emit := flag.Bool("json", false, "convert `go test -bench` output on stdin to BENCH json on stdout")
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha recorded by -json")
+	gateBaseline := flag.String("gate", "", "baseline BENCH json to gate stdin against")
+	gatePattern := flag.String("gatepattern", "Join|Semijoin", "regexp selecting gated benchmarks")
+	maxRegress := flag.Float64("maxregress", 1.20, "max allowed current/baseline ns-per-op ratio")
 	flag.Parse()
 
+	if *emit {
+		if err := emitJSON(*sha); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gateBaseline != "" {
+		if err := gate(*gateBaseline, *gatePattern, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel > 0 {
-		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter); err != nil {
+		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter, *shards); err != nil {
 			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
 			os.Exit(1)
 		}
@@ -78,8 +108,10 @@ func main() {
 // Workers cycle through every attribute pair of the schema as query
 // targets (so traffic mixes plan-cache hits with evictions), while an
 // optional writer keeps deriving copy-on-write snapshots and swapping
-// them in. It reports aggregate throughput and cache behavior.
-func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, writer bool) error {
+// them in. Each request runs with the given partition parallelism.
+// It reports aggregate throughput, per-request latency percentiles,
+// and cache behavior.
+func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, writer bool, shards int) error {
 	u := schema.NewUniverse()
 	sch, err := schema.Parse(u, schemaText)
 	if err != nil {
@@ -96,12 +128,15 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 		}
 	}
 
-	e := engine.New(engine.Options{})
+	e := engine.New(engine.Options{Workers: shards})
 	univ, got := relation.RandomUniversal(u, sch.Attrs(), tuples, domain, rand.New(rand.NewSource(1)))
 	e.Swap(relation.URDatabase(sch, univ))
 
 	fmt.Printf("load-driving %s (%d universal tuples, %d query targets) with %d goroutines for %v",
 		sch, got, len(targets), n, d)
+	if shards > 1 {
+		fmt.Printf(" at parallelism %d", e.ClampParallelism(shards))
+	}
 	if writer {
 		fmt.Printf(" + 1 writer")
 	}
@@ -135,6 +170,11 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 		}()
 	}
 
+	// Latencies are kept per goroutine in a bounded reservoir (uniform
+	// sample once full), so a long -duration run cannot grow the heap
+	// without limit or perturb the numbers it is measuring.
+	const reservoirCap = 1 << 16
+	lats := make([][]time.Duration, n)
 	ops := make([]int64, n)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -145,9 +185,11 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
 			for i := 0; time.Now().Before(deadline); i++ {
 				x := targets[(g+i)%len(targets)]
-				if _, _, err := e.Solve(sch, x); err != nil {
+				t0 := time.Now()
+				if _, _, err := e.SolvePar(sch, x, shards); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -155,7 +197,13 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 					errMu.Unlock()
 					return
 				}
+				lat := time.Since(t0)
 				ops[g]++
+				if len(lats[g]) < reservoirCap {
+					lats[g] = append(lats[g], lat)
+				} else if j := rng.Int63n(ops[g]); j < reservoirCap {
+					lats[g][j] = lat
+				}
 			}
 		}(g)
 	}
@@ -171,13 +219,41 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 	for _, o := range ops {
 		total += o
 	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
 	st := e.Stats()
 	fmt.Printf("total:      %d queries in %v\n", total, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f queries/sec aggregate (%.0f /sec/goroutine)\n",
 		float64(total)/elapsed.Seconds(), float64(total)/elapsed.Seconds()/float64(n))
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n",
+			percentile(all, 50), percentile(all, 95), percentile(all, 99), all[len(all)-1])
+	}
 	fmt.Printf("plan cache: %d hits, %d misses, %d resident\n", st.PlanHits, st.PlanMisses, st.CachedPlans)
+	if shards > 1 {
+		fmt.Printf("parallel:   %d of %d evals ran partition-parallel\n", st.ParEvals, st.Evals)
+	}
 	if writer {
 		fmt.Printf("snapshots:  %d swaps during the run\n", atomic.LoadInt64(&swaps))
 	}
 	return nil
+}
+
+// percentile returns the p-th percentile of sorted latencies by the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

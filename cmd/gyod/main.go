@@ -6,12 +6,13 @@
 // Usage:
 //
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
+//	     [-workers N]
 //
 // Endpoints (JSON in/out):
 //
 //	POST /classify  {"schema": "ab, bc, cd"}
 //	POST /plan      {"schema": "ab, bc, cd", "x": "ad"}
-//	POST /solve     {"x": "ad"}              evaluate on the server database
+//	POST /solve     {"x": "ad", "parallelism"?: 4}   evaluate on the server database
 //	GET  /stats     engine counters and snapshot cardinalities
 //	GET  /healthz
 //
@@ -42,6 +43,7 @@ func main() {
 	domain := flag.Int("domain", 32, "per-column value domain of the generated database")
 	seed := flag.Int64("seed", 1, "generator seed")
 	cache := flag.Int("cache", engine.DefaultPlanCacheSize, "plan-cache capacity (negative disables)")
+	workers := flag.Int("workers", 0, "per-request parallelism cap (0 = GOMAXPROCS, 1 = always serial)")
 	flag.Parse()
 
 	u := schema.NewUniverse()
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := engine.New(engine.Options{PlanCacheSize: *cache})
+	e := engine.New(engine.Options{PlanCacheSize: *cache, Workers: *workers})
 	rng := rand.New(rand.NewSource(*seed))
 	univ, n := relation.RandomUniversal(u, d.Attrs(), *tuples, *domain, rng)
 	e.Swap(relation.URDatabase(d, univ))

@@ -111,6 +111,12 @@ type (
 	// Exec is a reusable relational execution context: one Exec
 	// amortizes hash tables and scratch buffers across operator calls.
 	Exec = relation.Exec
+	// ParExec is the partition-parallel execution context: one Exec
+	// per worker plus the parallelism policy.
+	ParExec = relation.ParExec
+	// Partitioning is a relation hash-partitioned into shards on a key
+	// attribute subset.
+	Partitioning = relation.Partitioning
 	// Stats is the cost report of a Program.Eval run.
 	Stats = program.Stats
 	// StmtStat is one statement's observed cost within Stats.
@@ -156,6 +162,11 @@ func NewUniverse() *Universe { return schema.NewUniverse() }
 
 // NewExec returns a fresh relational execution context.
 func NewExec() *Exec { return relation.NewExec() }
+
+// NewParExec returns a partition-parallel execution context with p
+// workers; Program.EvalPar runs join/semijoin statements shard-local
+// across them.
+func NewParExec(p int) *ParExec { return relation.NewParExec(p) }
 
 // NewEngine returns a concurrent query-serving engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }

@@ -24,6 +24,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,10 @@ type Options struct {
 	// DefaultPlanCacheSize; negative disables caching (every query is
 	// classified and planned from scratch — the cold baseline).
 	PlanCacheSize int
+	// Workers caps per-request partition parallelism: SolvePar clamps
+	// the requested shard count to this. Zero means GOMAXPROCS; one
+	// makes every request serial.
+	Workers int
 }
 
 // Plan is a cache-resident compiled query: the classification of the
@@ -67,7 +72,8 @@ type Stats struct {
 	PlanHits    uint64 // cache hits (classification or plan)
 	PlanMisses  uint64 // cache misses compiled from scratch
 	CachedPlans int    // entries currently resident
-	Evals       uint64 // completed Solve/SolveOn calls
+	Evals       uint64 // completed Solve/SolveOn/SolvePar calls
+	ParEvals    uint64 // the subset that ran partition-parallel
 }
 
 // Engine is a concurrency-safe query-serving engine.
@@ -76,8 +82,11 @@ type Engine struct {
 	cache *lruCache  // nil when caching is disabled
 
 	hits, misses, evals atomic.Uint64
+	parEvals            atomic.Uint64
 
-	execs sync.Pool // *relation.Exec
+	workers int       // max shards per request (≥ 1)
+	execs   sync.Pool // *relation.Exec
+	pexecs  sync.Pool // *relation.ParExec
 
 	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update)
 	db  atomic.Pointer[relation.Database] // current frozen snapshot
@@ -85,9 +94,15 @@ type Engine struct {
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{
-		execs: sync.Pool{New: func() any { return relation.NewExec() }},
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	e := &Engine{
+		workers: workers,
+		execs:   sync.Pool{New: func() any { return relation.NewExec() }},
+	}
+	e.pexecs = sync.Pool{New: func() any { return relation.NewParExec(workers) }}
 	size := opts.PlanCacheSize
 	if size == 0 {
 		size = DefaultPlanCacheSize
@@ -264,12 +279,69 @@ func (e *Engine) SolveOn(db *relation.Database, d *schema.Schema, x schema.AttrS
 	return out, st, err
 }
 
+// Workers returns the engine's per-request parallelism cap.
+func (e *Engine) Workers() int { return e.workers }
+
+// ClampParallelism maps a requested per-request shard count into the
+// engine's supported range [1, Workers]: zero and negative requests
+// mean "serial".
+func (e *Engine) ClampParallelism(p int) int {
+	if p < 1 {
+		return 1
+	}
+	if p > e.workers {
+		return e.workers
+	}
+	return p
+}
+
+// SolvePar evaluates the query (d, x) against the current snapshot
+// with partition parallelism: join and semijoin statements fan out
+// across up to parallelism hash-partitioned shards (clamped to the
+// engine's Workers cap; ≤ 1 is the serial path). The plan cache is
+// shared with the serial path — parallelism changes how a plan is
+// executed, never which plan is built.
+func (e *Engine) SolvePar(d *schema.Schema, x schema.AttrSet, parallelism int) (*relation.Relation, *program.Stats, error) {
+	db := e.db.Load()
+	if db == nil {
+		return nil, nil, fmt.Errorf("engine: no database snapshot installed (call Swap first)")
+	}
+	return e.SolveOnPar(db, d, x, parallelism)
+}
+
+// SolveOnPar is SolvePar against an explicit database state. db is
+// never mutated.
+func (e *Engine) SolveOnPar(db *relation.Database, d *schema.Schema, x schema.AttrSet, parallelism int) (*relation.Relation, *program.Stats, error) {
+	parallelism = e.ClampParallelism(parallelism)
+	if parallelism <= 1 {
+		return e.SolveOn(db, d, x)
+	}
+	pl, err := e.Plan(d, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	adb, err := alignDatabase(pl.D, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	pe := e.pexecs.Get().(*relation.ParExec)
+	pe.Resize(parallelism)
+	defer e.pexecs.Put(pe)
+	out, st, err := pl.Prog.EvalPar(adb, pe)
+	if err == nil {
+		e.evals.Add(1)
+		e.parEvals.Add(1)
+	}
+	return out, st, err
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		PlanHits:   e.hits.Load(),
 		PlanMisses: e.misses.Load(),
 		Evals:      e.evals.Load(),
+		ParEvals:   e.parEvals.Load(),
 	}
 	if e.cache != nil {
 		e.mu.Lock()

@@ -15,7 +15,8 @@ import (
 //
 //	POST /classify  {"schema": "ab, bc, cd"}           §3 classification
 //	POST /plan      {"schema": "...", "x": "ad"}       compiled §4/§6 program
-//	POST /solve     {"x": "ad", "schema"?, "limit"?}   evaluate on the snapshot
+//	POST /solve     {"x": "ad", "schema"?, "limit"?,   evaluate on the snapshot
+//	                 "parallelism"?}                    (shards per statement)
 //
 // plus GET /stats (engine counters and snapshot cardinalities) and
 // GET /healthz.
@@ -176,6 +177,10 @@ type solveRequest struct {
 	X      string `json:"x"`
 	Schema string `json:"schema,omitempty"` // defaults to the serving schema
 	Limit  int    `json:"limit,omitempty"`  // tuple-echo cap for this request
+	// Parallelism requests partition-parallel execution across that
+	// many shards; it is clamped to the engine's worker cap, and ≤ 1
+	// (or omitting it) keeps the serial path.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SolveStats is the cost report embedded in a /solve reply.
@@ -186,6 +191,9 @@ type SolveStats struct {
 	Joins           int   `json:"joins"`
 	Projects        int   `json:"projects"`
 	Semijoins       int   `json:"semijoins"`
+	Parallelism     int   `json:"parallelism"`             // shards actually used (1 = serial)
+	ParallelStmts   int   `json:"parallelStmts,omitempty"` // statements that fanned out
+	Repartitions    int   `json:"repartitions,omitempty"`  // partitionings built during the run
 	ElapsedNs       int64 `json:"elapsedNs"`
 }
 
@@ -222,7 +230,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	out, st, err := s.E.Solve(d, x)
+	par := s.E.ClampParallelism(req.Parallelism)
+	out, st, err := s.E.SolvePar(d, x, par)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
@@ -249,6 +258,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Joins:           st.Joins,
 			Projects:        st.Projects,
 			Semijoins:       st.Semijoins,
+			Parallelism:     par,
+			ParallelStmts:   st.ParallelStmts,
+			Repartitions:    st.Repartitions,
 			ElapsedNs:       st.Elapsed.Nanoseconds(),
 		},
 	}
@@ -273,6 +285,8 @@ type StatsResponse struct {
 	PlanMisses   uint64 `json:"planMisses"`
 	CachedPlans  int    `json:"cachedPlans"`
 	Evals        uint64 `json:"evals"`
+	ParEvals     uint64 `json:"parEvals"`
+	Workers      int    `json:"workers"` // per-request parallelism cap
 	Schema       string `json:"schema,omitempty"`
 	SnapshotCard []int  `json:"snapshotCard,omitempty"` // per-relation cardinalities
 }
@@ -284,6 +298,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanMisses:  st.PlanMisses,
 		CachedPlans: st.CachedPlans,
 		Evals:       st.Evals,
+		ParEvals:    st.ParEvals,
+		Workers:     s.E.Workers(),
 	}
 	if s.D != nil {
 		resp.Schema = s.D.String()

@@ -133,12 +133,14 @@ func (p *Program) Validate() error {
 
 // StmtStat is the observed cost of one statement: input and output
 // cardinalities plus wall time. InRight is −1 for projections, which
-// have a single operand.
+// have a single operand. Shards is 0 when the statement ran serially
+// and the shard count when it ran partition-parallel (EvalPar).
 type StmtStat struct {
 	Kind    StmtKind
 	InLeft  int
 	InRight int
 	Out     int
+	Shards  int
 	Elapsed time.Duration
 }
 
@@ -154,6 +156,8 @@ type Stats struct {
 	Joins           int
 	Projects        int
 	Semijoins       int
+	ParallelStmts   int           // statements that ran partition-parallel
+	Repartitions    int           // partitionings built (initial or key change)
 	Elapsed         time.Duration // total wall time of the run
 }
 
@@ -167,7 +171,11 @@ func (st *Stats) Table() string {
 		if d.InRight >= 0 {
 			right = strconv.Itoa(d.InRight)
 		}
-		fmt.Fprintf(&b, "%-4d %-9s %10d %10s %10d %14v\n", i, d.Kind, d.InLeft, right, d.Out, d.Elapsed)
+		op := d.Kind.String()
+		if d.Shards > 0 {
+			op += "/p" + strconv.Itoa(d.Shards)
+		}
+		fmt.Fprintf(&b, "%-4d %-9s %10d %10s %10d %14v\n", i, op, d.InLeft, right, d.Out, d.Elapsed)
 	}
 	fmt.Fprintf(&b, "total: %d tuples produced, max intermediate %d, %v\n",
 		st.TuplesProduced, st.MaxIntermediate, st.Elapsed)
