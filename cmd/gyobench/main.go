@@ -16,6 +16,10 @@
 //	                      [-shards P]
 //	                      load-test an Engine; report throughput and
 //	                      p50/p95/p99 latency
+//	gyobench -ingest 100000 [-batch 128] [-datadir DIR] [-nosync]
+//	                      drive the durable write path (WAL + snapshot
+//	                      publish); report tuples/sec and verify by
+//	                      reopening the store
 //	gyobench -json [-sha SHA] < bench.out > BENCH_SHA.json
 //	                      convert `go test -bench` output to JSON
 //	gyobench -gate BENCH_baseline.json [-gatepattern 'Join|Semijoin']
@@ -50,6 +54,10 @@ func main() {
 	domain := flag.Int("domain", 32, "load-driver value domain")
 	nowriter := flag.Bool("nowriter", false, "load-driver: disable the snapshot-swapping writer")
 	shards := flag.Int("shards", 1, "load-driver: per-request partition parallelism (1 = serial)")
+	ingest := flag.Int("ingest", 0, "ingest-driver mode: total tuples to write durably")
+	batch := flag.Int("batch", 128, "ingest-driver: tuples per Apply batch")
+	dataDir := flag.String("datadir", "", "ingest-driver: store directory (default: a temp dir, removed after)")
+	noSync := flag.Bool("nosync", false, "ingest-driver: skip fsync on WAL appends")
 	emit := flag.Bool("json", false, "convert `go test -bench` output on stdin to BENCH json on stdout")
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha recorded by -json")
 	gateBaseline := flag.String("gate", "", "baseline BENCH json to gate stdin against")
@@ -73,6 +81,13 @@ func main() {
 	}
 	if *parallel > 0 {
 		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingest > 0 {
+		if err := ingestDrive(*ingest, *batch, *dataDir, *schemaText, *domain, *noSync); err != nil {
 			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
 			os.Exit(1)
 		}

@@ -1,72 +1,222 @@
 // Command gyod serves the paper's machinery over HTTP: schema
-// classification, query planning, and query evaluation against an
-// in-memory universal-relation database, backed by one shared
-// concurrent engine (plan cache + Exec pool + snapshot swapping).
+// classification, query planning, query evaluation, and durable
+// mutation of a universal-relation database, backed by one shared
+// concurrent engine (plan cache + Exec pool + snapshot swapping) and,
+// with -data, a write-ahead log with checkpointed snapshots
+// (internal/storage) so acknowledged writes survive a crash.
 //
 // Usage:
 //
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
-//	     [-workers N]
+//	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-nosync]
 //
 // Endpoints (JSON in/out):
 //
 //	POST /classify  {"schema": "ab, bc, cd"}
 //	POST /plan      {"schema": "ab, bc, cd", "x": "ad"}
 //	POST /solve     {"x": "ad", "parallelism"?: 4}   evaluate on the server database
-//	GET  /stats     engine counters and snapshot cardinalities
+//	POST /insert    {"rel": "ab", "tuples": [[1,2]]} durable insert batch
+//	POST /delete    {"rel": "ab", "tuples": [[1,2]]} durable delete batch
+//	POST /load      {"relations": [...]}             bulk ingest, one atomic batch
+//	GET  /stats     engine counters, per-relation cardinalities, durability
 //	GET  /healthz
+//
+// With -data DIR, the directory's recovered state is served (the
+// -schema/-tuples generator only seeds a fresh directory, through the
+// WAL, so even the seed is durable). Without -data the database is
+// in-memory and mutations are lost on exit.
+//
+// gyod shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
+// a deadline, a final checkpoint is taken so the next boot replays an
+// empty WAL tail, and the log is flushed and closed before exit.
 //
 // Example:
 //
-//	gyod -schema "ab, bc, cd" -tuples 1000 &
+//	gyod -schema "ab, bc, cd" -tuples 1000 -data /var/lib/gyod &
+//	curl -s localhost:8080/insert -d '{"rel": "ab", "tuples": [[7,8]]}'
+//	kill -9 %1; gyod -data /var/lib/gyod &          # recovers, [7,8] still there
 //	curl -s localhost:8080/solve -d '{"x": "ad"}'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gyokit/internal/engine"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
+	"gyokit/internal/storage"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gyod:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	schemaText := flag.String("schema", "ab, bc, cd", "serving schema in the paper's notation")
-	tuples := flag.Int("tuples", 1000, "universal tuples to generate for the serving database")
+	schemaText := flag.String("schema", "ab, bc, cd", "serving schema in the paper's notation (seeds a fresh store)")
+	tuples := flag.Int("tuples", 1000, "universal tuples to generate when seeding a fresh database")
 	domain := flag.Int("domain", 32, "per-column value domain of the generated database")
 	seed := flag.Int64("seed", 1, "generator seed")
 	cache := flag.Int("cache", engine.DefaultPlanCacheSize, "plan-cache capacity (negative disables)")
 	workers := flag.Int("workers", 0, "per-request parallelism cap (0 = GOMAXPROCS, 1 = always serial)")
+	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory only)")
+	segBytes := flag.Int64("segbytes", storage.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
+	ckptBytes := flag.Int64("ckptbytes", storage.DefaultCheckpointBytes, "live-WAL bytes that trigger a background checkpoint (negative disables)")
+	noSync := flag.Bool("nosync", false, "skip fsync on WAL appends (faster, loses crash durability)")
 	flag.Parse()
 
-	u := schema.NewUniverse()
-	d, err := schema.Parse(u, *schemaText)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gyod:", err)
-		os.Exit(2)
+	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers}
+	var store *storage.Store
+	if *dataDir != "" {
+		var err error
+		store, err = storage.Open(*dataDir, storage.Options{
+			SegmentBytes:    *segBytes,
+			CheckpointBytes: *ckptBytes,
+			NoSync:          *noSync,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opts.Store = store
 	}
 
-	e := engine.New(engine.Options{PlanCacheSize: *cache, Workers: *workers})
-	rng := rand.New(rand.NewSource(*seed))
-	univ, n := relation.RandomUniversal(u, d.Attrs(), *tuples, *domain, rng)
-	e.Swap(relation.URDatabase(d, univ))
+	var e *engine.Engine
+	var u *schema.Universe
+	var d *schema.Schema
+	switch {
+	case store == nil:
+		// In-memory: parse the schema and install a generated database.
+		var err error
+		u = schema.NewUniverse()
+		if d, err = schema.Parse(u, *schemaText); err != nil {
+			return err
+		}
+		e = engine.New(opts)
+		rng := rand.New(rand.NewSource(*seed))
+		univ, n := relation.RandomUniversal(u, d.Attrs(), *tuples, *domain, rng)
+		e.Swap(relation.URDatabase(d, univ))
+		log.Printf("gyod: serving %s in-memory (%d universal tuples)", d, n)
+	case store.Empty():
+		// Fresh store: seed the generated database through the WAL, so
+		// even the initial state is durable and replayable.
+		e = engine.New(opts)
+		n, err := seedStore(e, *schemaText, *tuples, *domain, *seed)
+		if err != nil {
+			return err
+		}
+		db := e.Snapshot()
+		u, d = db.D.U, db.D
+		log.Printf("gyod: seeded fresh store %s with %s (%d universal tuples)", *dataDir, d, n)
+	default:
+		// Recovered store: serve exactly what the directory holds; the
+		// -schema/-tuples flags are generator inputs and do not apply.
+		e = engine.New(opts)
+		db := e.Snapshot()
+		u, d = db.D.U, db.D
+		st := store.Stats()
+		log.Printf("gyod: recovered %s from %s (%d WAL batches replayed, %d bytes live WAL)",
+			d, *dataDir, st.Replayed, st.WALBytes)
+	}
 
 	srv := engine.NewServer(e, u, d)
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("gyod: serving %s (%d universal tuples) on %s", d, n, *addr)
-	log.Fatal(hs.ListenAndServe())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("gyod: listening on %s", ln.Addr())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests with a
+	// deadline, checkpoint, and flush/close the WAL before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+		stop()
+		log.Printf("gyod: shutting down")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gyod: shutdown: %v", err)
+	}
+	if store != nil {
+		if err := e.Checkpoint(); err != nil {
+			log.Printf("gyod: final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing WAL: %w", err)
+		}
+	}
+	log.Printf("gyod: bye")
+	return nil
+}
+
+// seedStore generates the -schema/-tuples universal-relation database
+// and ingests it through the engine's durable Apply path as ONE atomic
+// batch (creates + per-relation insert batches): either the whole seed
+// lands in the WAL or none of it, so a crash mid-seed leaves the store
+// Empty and the next boot simply seeds again — never a half-seeded
+// store that later boots silently serve. Returns the achieved
+// universal-tuple count.
+//
+// The projections are computed over the parse universe, whose ids
+// coincide with the store universe's: CreatesFor emits each relation's
+// names in ascending parse-id order, which is exactly first-mention
+// order, so replaying the creates interns identical ids and the raw
+// arenas align column-for-column.
+func seedStore(e *engine.Engine, schemaText string, tuples, domain int, seed int64) (int, error) {
+	u := schema.NewUniverse()
+	td, err := schema.Parse(u, schemaText)
+	if err != nil {
+		return 0, err
+	}
+	batch := storage.CreatesFor(td)
+	n := 0
+	if tuples > 0 {
+		var univ *relation.Relation
+		univ, n = relation.RandomUniversal(u, td.Attrs(), tuples, domain, rand.New(rand.NewSource(seed)))
+		for i, r := range td.Rels {
+			proj := univ.Project(r)
+			if proj.Card() == 0 {
+				continue
+			}
+			// A zero-width projection of a non-empty universal relation
+			// is the single empty tuple; Width 0 encodes exactly that.
+			batch = append(batch, storage.Mutation{
+				Kind:   storage.KindInsert,
+				Rel:    i,
+				Width:  r.Card(),
+				Values: append([]relation.Value(nil), proj.RawData()...),
+			})
+		}
+	}
+	if _, _, err := e.Apply(batch...); err != nil {
+		return 0, err
+	}
+	return n, nil
 }

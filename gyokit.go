@@ -59,8 +59,21 @@
 // queries run against immutable frozen Database snapshots swapped in
 // atomically by writers (Database.Clone, Database.InsertTuple,
 // Engine.Swap), so readers never block. NewEngineServer exposes an
-// Engine over HTTP (/classify, /plan, /solve) — cmd/gyod is the
-// ready-made daemon, and gyobench -parallel N is the load driver.
+// Engine over HTTP (/classify, /plan, /solve, /insert, /delete,
+// /load) — cmd/gyod is the ready-made daemon, and gyobench -parallel N
+// is the load driver.
+//
+// # Durability
+//
+// internal/storage adds crash recovery underneath the engine: a
+// write-ahead log of logical mutation batches (one CRC-framed, fsynced
+// record per Engine.Apply call) plus checkpointed snapshots of the
+// columnar representation, written atomically in the background off
+// the latest frozen snapshot. Recovery loads the newest valid
+// checkpoint, replays the WAL tail, and tolerates the torn final
+// record of a crash — acknowledged mutations are recovered exactly.
+// gyod -data DIR serves a durable store across restarts and shuts
+// down gracefully on SIGINT/SIGTERM.
 package gyokit
 
 import (

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/storage"
+)
+
+// openDurable returns an engine backed by a store in dir.
+func openDurable(t testing.TB, dir string, opt storage.Options) (*Engine, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Options{Store: st}), st
+}
+
+func snapshotsEqual(a, b *relation.Database) bool {
+	if a.D.String() != b.D.String() || len(a.Rels) != len(b.Rels) {
+		return false
+	}
+	for i := range a.Rels {
+		if a.Rels[i].Card() != b.Rels[i].Card() {
+			return false
+		}
+		for j := 0; j < a.Rels[i].Card(); j++ {
+			if !b.Rels[i].Has(a.Rels[i].TupleAt(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEngineDurableApply(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true})
+	if e.Store() != st {
+		t.Fatal("engine does not report its store")
+	}
+	// NoSync stores survive process kills but not power loss, so the
+	// engine must not claim durability for them.
+	if e.Durable() {
+		t.Error("NoSync store claims crash durability")
+	}
+	if snap := e.Snapshot(); snap == nil || len(snap.Rels) != 0 {
+		t.Fatalf("fresh durable engine snapshot = %v", snap)
+	}
+
+	if _, counts, err := e.Apply(
+		storage.Create("a", "b"),
+		storage.Create("b", "c"),
+		storage.Insert(0, 2, []relation.Tuple{{1, 2}, {3, 4}, {1, 2}}),
+	); err != nil {
+		t.Fatal(err)
+	} else if counts[2] != 2 {
+		t.Errorf("insert count = %d, want 2 (dedup)", counts[2])
+	}
+	if _, counts, err := e.Apply(
+		storage.Delete(0, 2, []relation.Tuple{{3, 4}, {9, 9}}),
+		storage.Insert(1, 2, []relation.Tuple{{7, 8}}),
+	); err != nil {
+		t.Fatal(err)
+	} else if counts[0] != 1 {
+		t.Errorf("delete count = %d, want 1", counts[0])
+	}
+	want := e.Snapshot()
+	if want.Rels[0].Card() != 1 || !want.Rels[0].Has(relation.Tuple{1, 2}) {
+		t.Fatalf("live snapshot wrong: %v", want.Rels[0])
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the recovered engine serves the identical state.
+	e2, st2 := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st2.Close()
+	if !snapshotsEqual(want, e2.Snapshot()) {
+		t.Error("recovered snapshot differs from pre-close snapshot")
+	}
+}
+
+func TestEngineApplyValidationLeavesStateUntouched(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	appends := st.Stats().Appends
+
+	// Second mutation of the batch is invalid: nothing may be applied
+	// or logged.
+	_, _, err := e.Apply(
+		storage.Insert(0, 2, []relation.Tuple{{1, 1}}),
+		storage.Insert(5, 2, []relation.Tuple{{2, 2}}),
+	)
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if e.Snapshot() != before {
+		t.Error("failed batch changed the snapshot")
+	}
+	if st.Stats().Appends != appends {
+		t.Error("failed batch reached the WAL")
+	}
+}
+
+func TestEngineApplyWithoutStore(t *testing.T) {
+	e := New(Options{})
+	if e.Durable() {
+		t.Fatal("in-memory engine claims durability")
+	}
+	if _, _, err := e.Apply(storage.Create("a", "b")); err == nil {
+		t.Fatal("Apply before any snapshot succeeded")
+	}
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc")
+	e.Swap(urdb(d, 1, 10, 8))
+	if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{100, 200}})); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Snapshot().Rels[0].Has(relation.Tuple{100, 200}) {
+		t.Error("in-memory Apply lost the insert")
+	}
+}
+
+func TestEngineBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true, CheckpointBytes: 256})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{relation.Value(i), relation.Value(i)}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.ckptWG.Wait()
+	if st.Stats().Checkpoints == 0 {
+		t.Error("no background checkpoint despite threshold crossings")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, st2 := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st2.Close()
+	if !snapshotsEqual(e.Snapshot(), e2.Snapshot()) {
+		t.Error("recovery after background checkpoint differs")
+	}
+}
+
+// TestEngineCheckpointSkipsWhenClean: a shutdown checkpoint with no
+// records since the last one must not rewrite the snapshot.
+func TestEngineCheckpointSkipsWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Checkpoints; got != 1 {
+		t.Fatalf("checkpoints = %d, want 1", got)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Checkpoints; got != 1 {
+		t.Errorf("clean checkpoint was not skipped: %d", got)
+	}
+	if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Checkpoints; got != 2 {
+		t.Errorf("dirty checkpoint skipped: %d", got)
+	}
+}
+
+// TestEngineDurableConcurrentReadWrite exercises the durable write path
+// under concurrent solves; run with -race it proves append-then-publish
+// never exposes a half-written snapshot.
+func TestEngineDurableConcurrentReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true, CheckpointBytes: 1 << 10})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b"), storage.Create("b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	d := snap.D
+	x := d.U.Set("a", "c")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := relation.Value(w*1000 + i)
+				if _, _, err := e.Apply(
+					storage.Insert(0, 2, []relation.Tuple{{v, v + 1}}),
+					storage.Insert(1, 2, []relation.Tuple{{v + 1, v + 2}}),
+				); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := e.Solve(d, x); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e.ckptWG.Wait()
+
+	if got := e.Snapshot().Rels[0].Card(); got != 200 {
+		t.Errorf("relation 0 card = %d, want 200", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, st2 := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st2.Close()
+	if !snapshotsEqual(e.Snapshot(), e2.Snapshot()) {
+		t.Error("recovered state differs after concurrent writes")
+	}
+}
+
+// BenchmarkIngestDurable measures the durable write path end to end:
+// Apply → copy-on-write snapshot → WAL append → publish. NoSync keeps
+// it deterministic enough to gate in CI (the fsync cost is measured by
+// BenchmarkWALAppend/fsync in internal/storage). The target relation
+// is dropped and recreated every 1024 batches so the copy-on-write
+// clone measures a bounded steady-state card rather than growing with
+// b.N.
+func BenchmarkIngestDurable(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run("batch="+strconv.Itoa(batch), func(b *testing.B) {
+			dir := b.TempDir()
+			e, st := openDurable(b, dir, storage.Options{NoSync: true, CheckpointBytes: -1})
+			defer st.Close()
+			if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+				b.Fatal(err)
+			}
+			tuples := make([]relation.Tuple, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 1023 {
+					if _, _, err := e.Apply(storage.Drop(0), storage.Create("a", "b")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := range tuples {
+					v := relation.Value(i*batch + j)
+					tuples[j] = relation.Tuple{v, v + 1}
+				}
+				if _, _, err := e.Apply(storage.Insert(0, 2, tuples)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"gyokit/internal/program"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
+	"gyokit/internal/storage"
 )
 
 // DefaultPlanCacheSize is the plan-cache capacity used when Options
@@ -48,6 +50,15 @@ type Options struct {
 	// the requested shard count to this. Zero means GOMAXPROCS; one
 	// makes every request serial.
 	Workers int
+	// Store, when non-nil, makes the engine durable: the store's
+	// recovered database is installed as the first snapshot, Apply
+	// appends every mutation batch to the write-ahead log (fsynced)
+	// before publishing it, and a background checkpoint is taken off
+	// the latest frozen snapshot whenever the live WAL outgrows the
+	// store's threshold. With a Store configured, all writes must go
+	// through Apply — Swap and Update still publish, but what they
+	// publish is not logged and would diverge from disk.
+	Store *storage.Store
 }
 
 // Plan is a cache-resident compiled query: the classification of the
@@ -88,8 +99,12 @@ type Engine struct {
 	execs   sync.Pool // *relation.Exec
 	pexecs  sync.Pool // *relation.ParExec
 
-	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update)
+	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update/Apply)
 	db  atomic.Pointer[relation.Database] // current frozen snapshot
+
+	store    *storage.Store // nil for a purely in-memory engine
+	ckptBusy atomic.Bool    // one background checkpoint at a time
+	ckptWG   sync.WaitGroup // outstanding background checkpoints
 }
 
 // New returns an Engine with the given options.
@@ -109,6 +124,17 @@ func New(opts Options) *Engine {
 	}
 	if size > 0 {
 		e.cache = newLRUCache(size)
+	}
+	if opts.Store != nil {
+		e.store = opts.Store
+		// Install the recovered state as the first snapshot: a durable
+		// engine starts serving exactly what the directory holds (an
+		// empty-schema database for a fresh store).
+		if db := e.store.State(); db != nil {
+			db.Freeze()
+			e.db.Store(db)
+			e.store.Detach()
+		}
 	}
 	return e
 }
@@ -157,7 +183,7 @@ func (e *Engine) lookup(key cacheKey, d *schema.Schema, x schema.AttrSet, wantPr
 	return pl
 }
 
-func (e *Engine) store(key cacheKey, pl *Plan) {
+func (e *Engine) storePlan(key cacheKey, pl *Plan) {
 	if e.cache == nil {
 		return
 	}
@@ -186,7 +212,7 @@ func (e *Engine) Classify(d *schema.Schema) (*core.Classification, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.store(key, &Plan{D: d.Clone(), Cls: cls})
+	e.storePlan(key, &Plan{D: d.Clone(), Cls: cls})
 	return cls, nil
 }
 
@@ -206,11 +232,11 @@ func (e *Engine) Plan(d *schema.Schema, x schema.AttrSet) (*Plan, error) {
 		return nil, err
 	}
 	pl := &Plan{D: d.Clone(), X: x.Clone(), Cls: cls, Prog: prog}
-	e.store(key, pl)
+	e.storePlan(key, pl)
 	// Seed the classification-only slot too: a later Classify of the
 	// same schema (in this order) should not redo the GYO work the plan
 	// already paid for.
-	e.store(cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}, pl)
+	e.storePlan(cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}, pl)
 	return pl, nil
 }
 
@@ -249,6 +275,127 @@ func (e *Engine) Update(fn func(*relation.Database) *relation.Database) *relatio
 // Swap). The snapshot is frozen; derive modified states with the
 // copy-on-write Database methods and publish them with Swap.
 func (e *Engine) Snapshot() *relation.Database { return e.db.Load() }
+
+// Store returns the engine's durability store, or nil for a purely
+// in-memory engine.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Durable reports whether acknowledged Apply calls survive a crash: a
+// store must be configured and fsyncing (a NoSync store survives a
+// process kill but not power loss, so it does not get to claim
+// durability to clients).
+func (e *Engine) Durable() bool { return e.store != nil && e.store.Synced() }
+
+// ErrDurability marks Apply failures on the storage side of the write
+// path (the mutation was valid but could not be made durable), so
+// callers can report a server fault rather than a bad request.
+var ErrDurability = errors.New("engine: durability failure")
+
+// Apply is the engine's logical write path: it applies the mutation
+// batch copy-on-write to the current snapshot, appends the whole batch
+// to the write-ahead log as one atomic fsynced record (when a Store is
+// configured), and only then publishes the new snapshot — so by the
+// time Apply returns, the mutation is both visible to readers and
+// durable. The batch is all-or-nothing: a validation error leaves both
+// the snapshot and the log untouched. counts reports, per mutation,
+// the tuples actually inserted or deleted (set semantics make both
+// idempotent).
+//
+// Writers are serialized with Update/Swap; readers stay on the old
+// snapshot, unblocked, until the new one lands.
+func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts []int, err error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	cur := e.db.Load()
+	if cur == nil {
+		return nil, nil, fmt.Errorf("engine: no database snapshot installed (call Swap first)")
+	}
+	next, counts, err := storage.ApplyAll(cur, muts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.store != nil {
+		// Append-then-publish: if the log write fails the snapshot is
+		// not published, so nothing unacknowledged becomes visible.
+		if err := e.store.Append(muts); err != nil {
+			return nil, nil, fmt.Errorf("%w: WAL append: %v", ErrDurability, err)
+		}
+	}
+	next.Freeze()
+	e.db.Store(next)
+	e.maybeCheckpointLocked(next)
+	return next, counts, nil
+}
+
+// maybeCheckpointLocked starts a background checkpoint when the live
+// WAL has outgrown the store's threshold and no checkpoint is already
+// in flight. Caller holds wmu, so the snapshot reflects every record
+// appended so far — exactly the consistency BeginCheckpoint requires.
+// The expensive snapshot encode and file write run off the writer
+// lock, against the frozen snapshot, so neither readers nor writers
+// block; failures are recorded in the store's stats and retried on a
+// later trigger.
+func (e *Engine) maybeCheckpointLocked(db *relation.Database) {
+	if e.store == nil || !e.store.ShouldCheckpoint() || !e.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	// Join the WaitGroup before the (fsync-heavy) rotation so a
+	// concurrent Engine.Checkpoint blocks in Wait instead of spinning
+	// on the busy flag for the whole rotation window.
+	e.ckptWG.Add(1)
+	seq, err := e.store.BeginCheckpoint()
+	if err != nil {
+		e.ckptWG.Done()
+		e.ckptBusy.Store(false)
+		return
+	}
+	go func() {
+		defer e.ckptWG.Done()
+		defer e.ckptBusy.Store(false)
+		_ = e.store.WriteCheckpoint(seq, db) // error lands in store stats
+	}()
+}
+
+// Checkpoint synchronously checkpoints the current snapshot. It
+// excludes background checkpoints by claiming the same in-flight slot
+// they use (waiting for any running one to finish first), so when it
+// returns no checkpoint write is outstanding — safe to Close the store
+// right after. It is a no-op without a Store. Use it at shutdown so
+// the next Open replays a short WAL tail.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return nil
+	}
+	// Claim the single checkpoint slot; a racing Apply may CAS-win it
+	// for a background checkpoint between Wait and CAS, so loop.
+	for !e.ckptBusy.CompareAndSwap(false, true) {
+		e.ckptWG.Wait()
+	}
+	defer e.ckptBusy.Store(false)
+	e.wmu.Lock()
+	db := e.db.Load()
+	dirty := e.store.Dirty()
+	var seq uint64
+	var err error
+	if dirty {
+		seq, err = e.store.BeginCheckpoint()
+	}
+	e.wmu.Unlock()
+	if !dirty {
+		// Every record is already covered by a checkpoint: re-encoding
+		// the whole snapshot would cost a full write for zero recovery
+		// gain (a restart loop on a large store would otherwise churn
+		// gigabytes per cycle).
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if db == nil {
+		return nil
+	}
+	return e.store.WriteCheckpoint(seq, db)
+}
 
 // Solve evaluates the query (d, x) against the current snapshot.
 func (e *Engine) Solve(d *schema.Schema, x schema.AttrSet) (*relation.Relation, *program.Stats, error) {

@@ -2,31 +2,45 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"gyokit/internal/program"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
+	"gyokit/internal/storage"
 )
 
-// Server exposes an Engine over HTTP — the gyod API. Three JSON
-// endpoints mirror the paper's pipeline:
+// Server exposes an Engine over HTTP — the gyod API. The read side
+// mirrors the paper's pipeline:
 //
 //	POST /classify  {"schema": "ab, bc, cd"}           §3 classification
 //	POST /plan      {"schema": "...", "x": "ad"}       compiled §4/§6 program
 //	POST /solve     {"x": "ad", "schema"?, "limit"?,   evaluate on the snapshot
 //	                 "parallelism"?}                    (shards per statement)
 //
-// plus GET /stats (engine counters and snapshot cardinalities) and
-// GET /healthz.
+// the write side mutates the serving snapshot through the engine's
+// durable Apply path (acknowledged responses are on disk when the
+// engine has a Store):
+//
+//	POST /insert    {"rel": "ab", "tuples": [[1,2]]}   insert a tuple batch
+//	POST /delete    {"rel": "ab", "tuples": [[1,2]]}   delete a tuple batch
+//	POST /load      {"relations": [{"rel": ..,         bulk ingest: one atomic
+//	                 "tuples": ..}, ...]}               multi-relation batch
+//
+// plus GET /stats (engine counters, per-relation cardinalities and
+// arena bytes, durability counters) and GET /healthz.
 //
 // Client input never grows the serving Universe: /classify and /plan
 // parse into a throwaway per-request universe (the plan cache still
 // hits for repeated request texts, since its fingerprints are
-// name-based), and /solve resolves names against the serving universe
-// by lookup only, rejecting unknown attributes. A client streaming
-// fresh attribute names therefore cannot leak memory into the server.
+// name-based), and /solve and the mutation endpoints resolve names
+// against the serving universe by lookup only, rejecting unknown
+// attributes. A client streaming fresh attribute names therefore
+// cannot leak memory into the server. Mutation request bodies are
+// size-capped (MaxBodyBytes, MaxLoadBytes) like every other endpoint.
 type Server struct {
 	E *Engine
 	// U is the serving universe: the attribute names of the serving
@@ -38,11 +52,23 @@ type Server struct {
 	// MaxTuples caps the tuples echoed by /solve (the cardinality is
 	// always reported in full). Zero means DefaultMaxTuples.
 	MaxTuples int
+	// MaxLoadBytes caps the /load request body. Zero means
+	// DefaultMaxLoadBytes.
+	MaxLoadBytes int64
 }
 
 // DefaultMaxTuples is the /solve response tuple cap when Server leaves
 // MaxTuples at zero.
 const DefaultMaxTuples = 1000
+
+// MaxBodyBytes caps standard JSON request bodies (all endpoints except
+// /load, which has its own configurable bulk cap).
+const MaxBodyBytes = 1 << 20
+
+// DefaultMaxLoadBytes is the /load body cap when Server leaves
+// MaxLoadBytes at zero: bulk ingest gets more room than a point write
+// but is still strictly bounded.
+const DefaultMaxLoadBytes = 32 << 20
 
 // NewServer returns a Server over e. d (with its universe u) is the
 // serving schema backing /solve; it may be nil for a planning-only
@@ -57,6 +83,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -279,16 +308,222 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// StatsResponse is the /stats reply.
+// mutateRequest is the /insert and /delete body, and one element of a
+// /load body: a relation (named by its attribute set, e.g. "ab") and a
+// tuple batch in that relation's sorted-column order. Schemas are
+// multisets, so when the serving schema contains the same relation
+// schema more than once, "rel" alone addresses the first occurrence;
+// "index" (a position in the serving schema) disambiguates.
+type mutateRequest struct {
+	Rel    string           `json:"rel"`
+	Index  *int             `json:"index,omitempty"`
+	Tuples []relation.Tuple `json:"tuples"`
+}
+
+type loadRequest struct {
+	Relations []mutateRequest `json:"relations"`
+}
+
+// MutateResponse is the /insert and /delete reply, and one element of
+// a /load reply. Applied counts the tuples actually inserted or
+// deleted (set semantics: duplicates and absentees don't count); Card
+// is the relation's cardinality in the published snapshot. Durable
+// reports whether the acknowledged batch is on disk.
+type MutateResponse struct {
+	Rel       string `json:"rel"`
+	Requested int    `json:"requested"`
+	Applied   int    `json:"applied"`
+	Card      int    `json:"card"`
+	Durable   bool   `json:"durable"`
+}
+
+// LoadResponse is the /load reply: per-relation outcomes of one atomic
+// multi-relation batch.
+type LoadResponse struct {
+	Relations []MutateResponse `json:"relations"`
+	Durable   bool             `json:"durable"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleMutate(w, r, storage.KindInsert)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleMutate(w, r, storage.KindDelete)
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, kind storage.Kind) {
+	var req mutateRequest
+	if !decodeCapped(w, r, &req, MaxBodyBytes) {
+		return
+	}
+	db := s.E.Snapshot()
+	if db == nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("no database snapshot installed"))
+		return
+	}
+	m, err := s.buildMutation(db, kind, req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	next, counts, err := s.E.Apply(m)
+	if err != nil {
+		httpErr(w, applyStatus(err), err)
+		return
+	}
+	writeJSON(w, MutateResponse{
+		Rel:       req.Rel,
+		Requested: len(req.Tuples),
+		Applied:   counts[0],
+		Card:      next.Rels[m.Rel].Card(),
+		Durable:   s.E.Durable(),
+	})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	capBytes := s.MaxLoadBytes
+	if capBytes <= 0 {
+		capBytes = DefaultMaxLoadBytes
+	}
+	var req loadRequest
+	if !decodeCapped(w, r, &req, capBytes) {
+		return
+	}
+	if len(req.Relations) == 0 {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("empty \"relations\""))
+		return
+	}
+	db := s.E.Snapshot()
+	if db == nil {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("no database snapshot installed"))
+		return
+	}
+	muts := make([]storage.Mutation, len(req.Relations))
+	for i, mr := range req.Relations {
+		m, err := s.buildMutation(db, storage.KindInsert, mr)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("relations[%d]: %w", i, err))
+			return
+		}
+		muts[i] = m
+	}
+	next, counts, err := s.E.Apply(muts...)
+	if err != nil {
+		httpErr(w, applyStatus(err), err)
+		return
+	}
+	resp := LoadResponse{Durable: s.E.Durable()}
+	for i, mr := range req.Relations {
+		resp.Relations = append(resp.Relations, MutateResponse{
+			Rel:       mr.Rel,
+			Requested: len(mr.Tuples),
+			Applied:   counts[i],
+			Card:      next.Rels[muts[i].Rel].Card(),
+			Durable:   s.E.Durable(),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// applyStatus maps an Engine.Apply error to an HTTP status: a
+// durability failure is the server's fault (5xx, retryable, should
+// alert), everything else is request validation (4xx).
+func applyStatus(err error) int {
+	if errors.Is(err, ErrDurability) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// buildMutation resolves a mutateRequest against the snapshot's schema
+// (lookup-only: unknown attribute names are a request error) and
+// validates tuple arities.
+//
+// The resolved index is re-validated by Apply only for range and
+// width: no HTTP endpoint changes the schema, so the resolution cannot
+// go stale under pure-HTTP traffic, but an embedding process that
+// issues Create/Drop mutations through the Go API concurrently with
+// HTTP writes can shift indexes between resolution and Apply.
+func (s *Server) buildMutation(db *relation.Database, kind storage.Kind, req mutateRequest) (storage.Mutation, error) {
+	if req.Rel == "" {
+		return storage.Mutation{}, fmt.Errorf("missing relation \"rel\"")
+	}
+	set, err := s.lookupTarget(req.Rel)
+	if err != nil {
+		return storage.Mutation{}, err
+	}
+	idx := -1
+	if req.Index != nil {
+		// Explicit position: must name the same relation schema, so a
+		// stale index cannot silently write to the wrong relation.
+		i := *req.Index
+		if i < 0 || i >= len(db.D.Rels) {
+			return storage.Mutation{}, fmt.Errorf("index %d out of range (schema has %d relations)", i, len(db.D.Rels))
+		}
+		if !db.D.Rels[i].Equal(set) {
+			return storage.Mutation{}, fmt.Errorf("relation at index %d is %s, not %q",
+				i, db.D.U.FormatSet(db.D.Rels[i]), req.Rel)
+		}
+		idx = i
+	} else {
+		for i, r := range db.D.Rels {
+			if r.Equal(set) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return storage.Mutation{}, fmt.Errorf("relation %q not in serving schema %s", req.Rel, db.D)
+		}
+	}
+	width := set.Card()
+	for i, t := range req.Tuples {
+		if len(t) != width {
+			return storage.Mutation{}, fmt.Errorf("tuple %d has arity %d, want %d", i, len(t), width)
+		}
+	}
+	if len(req.Tuples) == 0 {
+		return storage.Mutation{}, fmt.Errorf("empty \"tuples\"")
+	}
+	if kind == storage.KindDelete {
+		return storage.Delete(idx, width, req.Tuples), nil
+	}
+	return storage.Insert(idx, width, req.Tuples), nil
+}
+
+// RelationStats describes one relation of the live snapshot.
+type RelationStats struct {
+	Rel        string `json:"rel"`
+	Card       int    `json:"card"`
+	ArenaBytes int    `json:"arenaBytes"`
+}
+
+// DurabilityStats is the /stats durability section, present when the
+// engine has a Store.
+type DurabilityStats struct {
+	WALBytes            int64  `json:"walBytes"`
+	WALSegments         int    `json:"walSegments"`
+	Appends             uint64 `json:"appends"`
+	Replayed            uint64 `json:"replayed"` // batches replayed at boot
+	Checkpoints         uint64 `json:"checkpoints"`
+	LastCheckpointAgeMs int64  `json:"lastCheckpointAgeMs"` // -1 = never (this process)
+	LastCheckpointError string `json:"lastCheckpointError,omitempty"`
+}
+
+// StatsResponse is the /stats reply. Per-relation cardinalities live
+// in Relations (which superseded the bare snapshotCard array).
 type StatsResponse struct {
-	PlanHits     uint64 `json:"planHits"`
-	PlanMisses   uint64 `json:"planMisses"`
-	CachedPlans  int    `json:"cachedPlans"`
-	Evals        uint64 `json:"evals"`
-	ParEvals     uint64 `json:"parEvals"`
-	Workers      int    `json:"workers"` // per-request parallelism cap
-	Schema       string `json:"schema,omitempty"`
-	SnapshotCard []int  `json:"snapshotCard,omitempty"` // per-relation cardinalities
+	PlanHits    uint64           `json:"planHits"`
+	PlanMisses  uint64           `json:"planMisses"`
+	CachedPlans int              `json:"cachedPlans"`
+	Evals       uint64           `json:"evals"`
+	ParEvals    uint64           `json:"parEvals"`
+	Workers     int              `json:"workers"` // per-request parallelism cap
+	Schema      string           `json:"schema,omitempty"`
+	Relations   []RelationStats  `json:"relations,omitempty"`  // live snapshot, by relation
+	ArenaBytes  int64            `json:"arenaBytes,omitempty"` // total tuple-arena bytes served
+	Durability  *DurabilityStats `json:"durability,omitempty"` // present when storage is configured
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -305,10 +540,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Schema = s.D.String()
 	}
 	if db := s.E.Snapshot(); db != nil {
-		resp.SnapshotCard = make([]int, len(db.Rels))
+		resp.Relations = make([]RelationStats, len(db.Rels))
 		for i, rel := range db.Rels {
-			resp.SnapshotCard[i] = rel.Card()
+			resp.Relations[i] = RelationStats{
+				Rel:        db.D.U.FormatSet(db.D.Rels[i]),
+				Card:       rel.Card(),
+				ArenaBytes: rel.ArenaBytes(),
+			}
+			resp.ArenaBytes += int64(rel.ArenaBytes())
 		}
+		if db.Univ != nil {
+			resp.ArenaBytes += int64(db.Univ.ArenaBytes())
+		}
+	}
+	if store := s.E.Store(); store != nil {
+		sst := store.Stats()
+		ds := &DurabilityStats{
+			WALBytes:            sst.WALBytes,
+			WALSegments:         sst.Segments,
+			Appends:             sst.Appends,
+			Replayed:            sst.Replayed,
+			Checkpoints:         sst.Checkpoints,
+			LastCheckpointAgeMs: -1,
+			LastCheckpointError: sst.LastCheckpointErr,
+		}
+		if !sst.LastCheckpoint.IsZero() {
+			ds.LastCheckpointAgeMs = time.Since(sst.LastCheckpoint).Milliseconds()
+		}
+		resp.Durability = ds
 	}
 	writeJSON(w, resp)
 }
@@ -383,11 +642,15 @@ func (s *Server) lookupSet(tmp *schema.Universe, set schema.AttrSet) (schema.Att
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	return decodeCapped(w, r, dst, MaxBodyBytes)
+}
+
+func decodeCapped(w http.ResponseWriter, r *http.Request, dst any, capBytes int64) bool {
 	if r.Method != http.MethodPost {
 		httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, capBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		httpErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))

@@ -152,7 +152,7 @@ func TestServerErrorsAndStats(t *testing.T) {
 	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if len(st.SnapshotCard) != 3 || st.Schema == "" {
+	if len(st.Relations) != 3 || st.Schema == "" {
 		t.Errorf("/stats = %+v", st)
 	}
 }

@@ -1,0 +1,93 @@
+package relation
+
+// Codec hooks over the arena layout. The durable-storage layer
+// (internal/storage) serializes a relation as its attribute list plus
+// the raw row-major arena; the hash index and row hashes are rebuilt on
+// load rather than written to disk. These hooks expose exactly that
+// boundary without leaking mutable internals anywhere else.
+
+import (
+	"fmt"
+
+	"gyokit/internal/schema"
+)
+
+// ValueBytes is the on-disk size of one Value.
+const ValueBytes = 4
+
+// RawData returns the backing arena: row i occupies
+// RawData()[i*width : (i+1)*width] with columns in Cols() order. The
+// slice is shared with the relation; callers must not modify it.
+func (r *Relation) RawData() []Value { return r.data[:r.n*r.width] }
+
+// ArenaBytes returns the size of the tuple arena in bytes (the
+// dominant share of a relation's memory; index and hash overhead are
+// proportional).
+func (r *Relation) ArenaBytes() int { return r.n * r.width * ValueBytes }
+
+// FromArena builds a relation over attrs from a row-major arena of
+// rows tuples, rebuilding the row hashes and the set-semantics index
+// in one pass (the index is presized, so loading never rehashes).
+// Duplicate rows are eliminated, so the result may hold fewer than
+// rows tuples. FromArena takes ownership of data: the returned
+// relation dedups in place into the same backing array.
+func FromArena(u *schema.Universe, attrs schema.AttrSet, rows int, data []Value) (*Relation, error) {
+	r := New(u, attrs)
+	if rows < 0 {
+		return nil, fmt.Errorf("relation: negative row count %d", rows)
+	}
+	if r.width == 0 {
+		// A zero-width relation holds at most the empty tuple; its
+		// cardinality cannot be derived from the (empty) arena.
+		if len(data) != 0 || rows > 1 {
+			return nil, fmt.Errorf("relation: zero-width arena with %d values, %d rows", len(data), rows)
+		}
+		if rows == 1 {
+			r.Insert(Tuple{})
+		}
+		return r, nil
+	}
+	if len(data) != rows*r.width {
+		return nil, fmt.Errorf("relation: arena length %d ≠ %d rows × width %d", len(data), rows, r.width)
+	}
+	r.hashes = make([]uint64, 0, rows)
+	r.slots = make([]int32, tableSize(rows))
+	// Dedup in place: the write cursor (r.n rows) never passes the read
+	// cursor (row i), so appending into the shared array is safe.
+	r.data = data[:0]
+	for i := 0; i < rows; i++ {
+		row := data[i*r.width : (i+1)*r.width]
+		r.insertHashed(row, hashValues(row))
+	}
+	return r, nil
+}
+
+// Without returns a copy of r with the given tuples removed (tuples in
+// column order; tuples not present — or of the wrong arity — are
+// ignored) and reports how many rows were actually removed. r is
+// unchanged, so Without is the copy-on-write delete mirroring Clone +
+// Insert on the write path.
+func (r *Relation) Without(ts []Tuple) (*Relation, int) {
+	del := New(r.U, r.attrs)
+	for _, t := range ts {
+		if len(t) == r.width {
+			del.Insert(t)
+		}
+	}
+	out := New(r.U, r.attrs)
+	if r.n > 0 {
+		out.data = make([]Value, 0, r.n*r.width)
+		out.hashes = make([]uint64, 0, r.n)
+		out.slots = make([]int32, tableSize(r.n))
+	}
+	removed := 0
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		if del.contains(row, r.hashes[i]) {
+			removed++
+			continue
+		}
+		out.insertHashed(row, r.hashes[i])
+	}
+	return out, removed
+}

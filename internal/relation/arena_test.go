@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"gyokit/internal/schema"
+)
+
+func TestFromArenaRoundTrip(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b", "c")
+	rng := rand.New(rand.NewSource(7))
+	orig, _ := RandomUniversal(u, attrs, 500, 16, rng)
+
+	data := append([]Value(nil), orig.RawData()...)
+	got, err := FromArena(u, attrs, orig.Card(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("FromArena(RawData) ≠ original: %d vs %d tuples", got.Card(), orig.Card())
+	}
+	if got.ArenaBytes() != orig.Card()*3*ValueBytes {
+		t.Errorf("ArenaBytes = %d, want %d", got.ArenaBytes(), orig.Card()*3*ValueBytes)
+	}
+}
+
+func TestFromArenaDedups(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	data := []Value{1, 2, 3, 4, 1, 2, 3, 4, 5, 6}
+	r, err := FromArena(u, attrs, 5, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Card() != 3 {
+		t.Fatalf("Card = %d after dedup, want 3", r.Card())
+	}
+	for _, want := range [][]Value{{1, 2}, {3, 4}, {5, 6}} {
+		if !r.Has(Tuple(want)) {
+			t.Errorf("missing tuple %v", want)
+		}
+	}
+}
+
+func TestFromArenaErrors(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	if _, err := FromArena(u, attrs, 3, make([]Value, 5)); err == nil {
+		t.Error("mismatched arena length accepted")
+	}
+	if _, err := FromArena(u, attrs, -1, nil); err == nil {
+		t.Error("negative row count accepted")
+	}
+	if _, err := FromArena(u, schema.AttrSet{}, 2, nil); err == nil {
+		t.Error("zero-width relation with 2 rows accepted")
+	}
+	if r, err := FromArena(u, schema.AttrSet{}, 1, nil); err != nil || r.Card() != 1 {
+		t.Errorf("zero-width single-row load: %v, card %d", err, r.Card())
+	}
+}
+
+func TestWithout(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	r := New(u, attrs)
+	for i := 0; i < 10; i++ {
+		r.Insert(Tuple{Value(i), Value(i * 2)})
+	}
+	r.Freeze() // deletes must be copy-on-write even on a frozen snapshot
+
+	out, removed := r.Without([]Tuple{
+		{3, 6}, {7, 14}, {99, 99}, // last one absent
+		{1}, // wrong arity: ignored
+	})
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if out.Card() != 8 || r.Card() != 10 {
+		t.Fatalf("out.Card = %d (want 8), r.Card = %d (want 10)", out.Card(), r.Card())
+	}
+	if out.Has(Tuple{3, 6}) || out.Has(Tuple{7, 14}) || !out.Has(Tuple{4, 8}) {
+		t.Error("Without removed the wrong tuples")
+	}
+}
+
+func TestWithoutEmpty(t *testing.T) {
+	u := schema.NewUniverse()
+	r := New(u, u.Set("a"))
+	out, removed := r.Without([]Tuple{{1}})
+	if removed != 0 || out.Card() != 0 {
+		t.Fatalf("Without on empty relation: removed %d, card %d", removed, out.Card())
+	}
+}

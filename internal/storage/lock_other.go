@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// lockDir is advisory-only on platforms without flock: single-process
+// use is the operator's responsibility there.
+func lockDir(string) (*os.File, error) { return nil, nil }

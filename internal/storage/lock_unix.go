@@ -1,0 +1,27 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file, so two
+// processes can never append to (or truncate) the same WAL: the second
+// Open fails fast instead of corrupting the first's acknowledged tail.
+// The lock is released when the returned file is closed — including by
+// the OS on any process death, so a SIGKILL never leaves a stale lock.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,705 @@
+// Package storage is the durability subsystem: a write-ahead log of
+// logical mutation records plus checkpointed snapshots of the columnar
+// database representation, giving the serving engine crash recovery
+// with an acknowledged-writes-are-durable contract.
+//
+// A store directory holds numbered WAL segments (wal-<seq>.log) and at
+// most one live checkpoint (checkpoint-<seq>.ckpt). The checkpoint
+// with sequence number S is a full database snapshot covering exactly
+// the mutations recorded in segments < S, so recovery is: load the
+// newest valid checkpoint, replay every segment ≥ S in order, tolerate
+// a torn final record (the in-flight write of a crash), and resume
+// appending at the recovered tail. Checkpoints are written atomically
+// (temp file + rename) in the background off a frozen snapshot, then
+// obsolete segments are truncated away — readers and writers never
+// block on checkpointing.
+//
+// The write path is Append: one framed, CRC-checked record per
+// mutation batch, fsynced before it returns (unless Options.NoSync),
+// so a batch acknowledged to a client is on disk, and a batch is
+// recovered either whole or not at all.
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+// Default tuning knobs.
+const (
+	DefaultSegmentBytes    = 4 << 20  // WAL segment rotation threshold
+	DefaultCheckpointBytes = 16 << 20 // live-WAL size that suggests a checkpoint
+)
+
+// Options configures a Store.
+type Options struct {
+	// SegmentBytes rotates the WAL to a fresh segment once the current
+	// one exceeds this size. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// CheckpointBytes is the live-WAL size past which ShouldCheckpoint
+	// reports true. Zero means DefaultCheckpointBytes; negative
+	// disables the suggestion (checkpoints still work when requested).
+	CheckpointBytes int64
+	// NoSync skips fsync on append and rotation. Crash durability is
+	// lost (a power failure may drop acknowledged writes); useful for
+	// tests and benchmarks where the page cache is good enough.
+	NoSync bool
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) checkpointBytes() int64 {
+	if o.CheckpointBytes == 0 {
+		return DefaultCheckpointBytes
+	}
+	return o.CheckpointBytes
+}
+
+// Stats is a point-in-time snapshot of durability counters.
+type Stats struct {
+	WALBytes          int64     // bytes across live segments (headers included)
+	Segments          int       // live segment files
+	Appends           uint64    // batches appended since open
+	Replayed          uint64    // batches replayed during recovery
+	Checkpoints       uint64    // checkpoints written since open
+	LastCheckpoint    time.Time // zero if never (this process)
+	LastCheckpointErr string    // last background checkpoint failure, if any
+}
+
+// Store is an open storage directory. It is safe for concurrent use;
+// Append calls are serialized internally (the engine's writer lock
+// already serializes logical mutations, the store's own lock makes it
+// safe regardless).
+type Store struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	seg      *os.File // current segment, positioned at its end
+	segSeq   uint64
+	segSizes map[uint64]int64 // live segment → size in bytes
+	walBytes int64
+	closed   bool
+	failed   error    // set when a write error left the WAL unappendable
+	lockf    *os.File // exclusive directory lock (nil on non-unix)
+
+	appends     uint64
+	replayed    uint64
+	checkpoints uint64
+	lastCkpt    time.Time
+	lastCkptErr string
+
+	db    *relation.Database // recovered state; nil after Detach
+	empty bool               // no checkpoint and no WAL records found
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
+func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%016d.ckpt", seq) }
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range name[len(prefix) : len(prefix)+16] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// Open opens (creating if needed) the store directory and recovers its
+// state: newest valid checkpoint, then WAL replay of every later
+// segment, tolerating a torn final record. The recovered database is
+// available via State until Detach; a fresh directory recovers to an
+// empty database over a fresh universe.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// One process per directory: a concurrent Open must fail fast, not
+	// truncate the tail segment out from under a live writer.
+	lockf, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened && lockf != nil {
+			lockf.Close()
+		}
+	}()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segSeqs, ckptSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			segSeqs = append(segSeqs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok {
+			ckptSeqs = append(ckptSeqs, seq)
+		}
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] > ckptSeqs[j] }) // newest first
+
+	s := &Store{dir: dir, opt: opt, segSizes: map[uint64]int64{}}
+
+	// 1. Newest valid checkpoint.
+	var db *relation.Database
+	startSeq := uint64(1)
+	ckptLoaded := false
+	var chosenCkpt uint64
+	for _, seq := range ckptSeqs {
+		loaded, err := readCheckpoint(filepath.Join(dir, ckptName(seq)), seq)
+		if err != nil {
+			continue // corrupt or unreadable: try an older one
+		}
+		db, startSeq, ckptLoaded, chosenCkpt = loaded, seq, true, seq
+		break
+	}
+	if !ckptLoaded {
+		// Without a checkpoint the WAL must reach back to genesis:
+		// segment 1 (or no segments at all). A history that starts later
+		// — or corrupt checkpoints with no replayable prefix — means
+		// acknowledged data is unrecoverable, which must be an error,
+		// never a silently empty store.
+		if len(segSeqs) > 0 && segSeqs[0] != 1 {
+			return nil, fmt.Errorf("%w: no valid checkpoint and WAL starts at segment %d", ErrCorrupt, segSeqs[0])
+		}
+		if len(segSeqs) == 0 && len(ckptSeqs) > 0 {
+			return nil, fmt.Errorf("%w: checkpoint files present but none valid and no WAL to replay", ErrCorrupt)
+		}
+		db = &relation.Database{D: schema.New(schema.NewUniverse())}
+	}
+
+	// 2. Replay segments ≥ startSeq in order.
+	var replaySeqs []uint64
+	for _, seq := range segSeqs {
+		if seq >= startSeq {
+			replaySeqs = append(replaySeqs, seq)
+		}
+	}
+	for i, seq := range replaySeqs {
+		if want := startSeq + uint64(i); seq != want {
+			return nil, fmt.Errorf("%w: WAL segment %d missing (found %d)", ErrCorrupt, want, seq)
+		}
+	}
+	lastValidLen := int64(0)
+	for i, seq := range replaySeqs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
+		if err != nil {
+			return nil, err
+		}
+		validLen, clean, err := replaySegment(data, func(muts []Mutation) error {
+			for _, m := range muts {
+				var aerr error
+				if db, _, aerr = m.apply(db, true); aerr != nil {
+					return aerr
+				}
+			}
+			s.replayed++
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: %v", ErrCorrupt, seq, err)
+		}
+		last := i == len(replaySeqs)-1
+		if !clean && !last {
+			return nil, fmt.Errorf("%w: segment %d has an invalid record at offset %d but is not the newest segment", ErrCorrupt, seq, validLen)
+		}
+		// A bad magic header (validLen 0) on a segment that has a
+		// non-empty body is provable corruption, not a torn create: the
+		// header always lands before any record does. Truncating would
+		// silently drop every acknowledged batch in the body.
+		if !clean && validLen == 0 && len(data) > walHeaderLen {
+			return nil, fmt.Errorf("%w: segment %d has a corrupt header but %d bytes of records", ErrCorrupt, seq, len(data)-walHeaderLen)
+		}
+		if last {
+			lastValidLen = int64(validLen)
+		}
+	}
+
+	// 3. Resume the tail segment for appending (discarding any torn
+	// final record), or create the first segment.
+	if len(replaySeqs) > 0 {
+		s.segSeq = replaySeqs[len(replaySeqs)-1]
+		path := filepath.Join(dir, segName(s.segSeq))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if lastValidLen < walHeaderLen {
+			lastValidLen = 0
+		}
+		if err := f.Truncate(lastValidLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if lastValidLen == 0 {
+			if _, err := f.Write(walMagic); err != nil {
+				f.Close()
+				return nil, err
+			}
+			lastValidLen = walHeaderLen
+		}
+		if _, err := f.Seek(lastValidLen, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if !opt.NoSync {
+			if err := f.Sync(); err != nil { // persist the tail truncation
+				f.Close()
+				return nil, err
+			}
+		}
+		s.seg = f
+		s.segSizes[s.segSeq] = lastValidLen
+		for _, seq := range replaySeqs[:len(replaySeqs)-1] {
+			fi, err := os.Stat(filepath.Join(dir, segName(seq)))
+			if err != nil {
+				return nil, err
+			}
+			s.segSizes[seq] = fi.Size()
+		}
+	} else {
+		s.segSeq = startSeq
+		if err := s.createSegment(); err != nil {
+			return nil, err
+		}
+	}
+	s.walBytes = 0
+	for _, sz := range s.segSizes {
+		s.walBytes += sz
+	}
+
+	// 4. Tidy up: segments older than the checkpoint and checkpoint
+	// files other than the chosen one are dead weight (a crash between
+	// checkpointing and cleanup leaves them behind).
+	for _, seq := range segSeqs {
+		if seq < startSeq {
+			os.Remove(filepath.Join(dir, segName(seq)))
+		}
+	}
+	for _, seq := range ckptSeqs {
+		if !ckptLoaded || seq != chosenCkpt {
+			os.Remove(filepath.Join(dir, ckptName(seq)))
+		}
+	}
+	// Orphaned checkpoint temp files (crash between write and rename)
+	// can be snapshot-sized; don't let them accumulate.
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt.tmp"); ok {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+
+	s.db = db
+	s.empty = !ckptLoaded && s.replayed == 0
+	s.lockf = lockf
+	opened = true
+	return s, nil
+}
+
+// State returns the recovered database (empty schema and universe for
+// a fresh store). The caller takes ownership — typically by installing
+// it as the engine's first snapshot.
+func (s *Store) State() *relation.Database { return s.db }
+
+// Empty reports whether the directory held no durable state at Open
+// (no checkpoint, no WAL records): the caller may want to seed an
+// initial database through the mutation path.
+func (s *Store) Empty() bool { return s.empty }
+
+// Detach drops the store's reference to the recovered database so a
+// long-lived process does not pin the boot-time snapshot.
+func (s *Store) Detach() { s.db = nil }
+
+// Append durably logs one mutation batch: a single framed record,
+// fsynced before return (unless NoSync). The caller is responsible for
+// having validated/applied the batch against the current state; the
+// store records it verbatim.
+func (s *Store) Append(muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	// Everything acknowledged must decode on replay: enforce the
+	// codec's caps before anything reaches the file, so recovery can
+	// treat an undecodable record as corruption/tearing, never as a
+	// dropped acknowledged batch.
+	if len(muts) > maxBatchMuts {
+		return fmt.Errorf("storage: batch of %d mutations exceeds codec cap %d", len(muts), maxBatchMuts)
+	}
+	for i, m := range muts {
+		if err := m.encodable(); err != nil {
+			return fmt.Errorf("mutation %d: %w", i, err)
+		}
+	}
+	// Encode the batch directly after a placeholder frame header, then
+	// patch length and CRC in place — one buffer, no second copy of a
+	// potentially large bulk-load payload.
+	frame := appendBatch(make([]byte, frameHedLen, frameHedLen+64), muts)
+	payload := frame[frameHedLen:]
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("storage: record of %d bytes exceeds cap %d", len(payload), maxRecordSize)
+	}
+	putU32(frame[0:], uint32(len(payload)))
+	putU32(frame[4:], crcOf(payload))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("storage: append on closed store")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("storage: store failed: %w", s.failed)
+	}
+	if s.segSizes[s.segSeq] > walHeaderLen && s.segSizes[s.segSeq] >= s.opt.segmentBytes() {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		// The segment may now hold a partial frame. Roll the file back
+		// to the last good offset so future appends don't land behind
+		// garbage that replay would (rightly) stop at — that would make
+		// them acknowledged-but-unrecoverable. If the rollback itself
+		// fails, poison the store: refusing writes is strictly better
+		// than acknowledging writes recovery will drop.
+		good := s.segSizes[s.segSeq]
+		if terr := s.seg.Truncate(good); terr != nil {
+			s.failed = fmt.Errorf("write failed (%v) and rollback truncate failed: %w", err, terr)
+		} else if _, serr := s.seg.Seek(good, 0); serr != nil {
+			s.failed = fmt.Errorf("write failed (%v) and rollback seek failed: %w", err, serr)
+		}
+		return err
+	}
+	if !s.opt.NoSync {
+		if err := s.seg.Sync(); err != nil {
+			// After a failed fsync the page cache is untrustworthy
+			// (dirty pages may have been dropped), and the unack'd
+			// frame sits at the tail where it would replay — a retried
+			// batch would then apply twice, which is not idempotent for
+			// creates. Roll the tail back and poison the store either
+			// way: refusing writes until a restart re-establishes a
+			// consistent tail is strictly safer than writing on.
+			good := s.segSizes[s.segSeq]
+			if terr := s.seg.Truncate(good); terr == nil {
+				s.seg.Seek(good, 0)
+			}
+			s.failed = fmt.Errorf("fsync failed: %w", err)
+			return err
+		}
+	}
+	s.segSizes[s.segSeq] += int64(len(frame))
+	s.walBytes += int64(len(frame))
+	s.appends++
+	return nil
+}
+
+// openSegment creates wal-<seq>.log with its header, synced. It does
+// not touch store state, so a failure leaves the store untouched.
+func (s *Store) openSegment(seq uint64) (*os.File, error) {
+	path := filepath.Join(s.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(walMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if !s.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// createSegment creates wal-<segSeq>.log and makes it the current
+// segment. Caller holds mu (or is Open, single-threaded).
+func (s *Store) createSegment() error {
+	f, err := s.openSegment(s.segSeq)
+	if err != nil {
+		return err
+	}
+	s.seg = f
+	s.segSizes[s.segSeq] = walHeaderLen
+	s.walBytes += walHeaderLen
+	return nil
+}
+
+func (s *Store) rotateLocked() error {
+	// Bring up the replacement before tearing down the current tail: a
+	// transient failure (disk briefly full) must leave the store fully
+	// appendable on the old segment, not stuck behind a nil file.
+	f, err := s.openSegment(s.segSeq + 1)
+	if err != nil {
+		return err
+	}
+	if s.seg != nil {
+		if !s.opt.NoSync {
+			if err := s.seg.Sync(); err != nil {
+				f.Close()
+				os.Remove(filepath.Join(s.dir, segName(s.segSeq+1)))
+				return err
+			}
+		}
+		s.seg.Close()
+	}
+	s.segSeq++
+	s.seg = f
+	s.segSizes[s.segSeq] = walHeaderLen
+	s.walBytes += walHeaderLen
+	return nil
+}
+
+// Dirty reports whether the live WAL holds any records not yet covered
+// by a checkpoint — i.e. whether a checkpoint now would actually
+// shorten recovery.
+func (s *Store) Dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes > int64(len(s.segSizes))*walHeaderLen
+}
+
+// ShouldCheckpoint reports whether the live WAL has grown past the
+// configured threshold, suggesting a checkpoint.
+func (s *Store) ShouldCheckpoint() bool {
+	if s.opt.checkpointBytes() < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes > s.opt.checkpointBytes()
+}
+
+// BeginCheckpoint rotates the WAL and returns the new segment's
+// sequence number. Call it while no logical mutation can interleave
+// (the engine holds its writer lock), with the snapshot that reflects
+// every record appended so far: that snapshot then covers exactly the
+// segments below the returned sequence, and WriteCheckpoint may run in
+// the background while later appends land in the new segment.
+func (s *Store) BeginCheckpoint() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("storage: checkpoint on closed store")
+	}
+	if err := s.rotateLocked(); err != nil {
+		// Surface the failure in Stats too: callers fire-and-forget
+		// background checkpoints, and a silently never-checkpointing
+		// store must be visible to operators.
+		s.lastCkptErr = err.Error()
+		return 0, err
+	}
+	return s.segSeq, nil
+}
+
+// WriteCheckpoint atomically writes db as the checkpoint covering all
+// segments below seq (temp file + rename + directory sync), then
+// truncates the obsolete segments and any older checkpoint. db must be
+// the snapshot passed alongside BeginCheckpoint's sequence; it is only
+// read. Failures are additionally recorded in Stats.
+func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
+	defer func() {
+		s.mu.Lock()
+		if err != nil {
+			s.lastCkptErr = err.Error()
+		} else {
+			s.lastCkptErr = ""
+			s.checkpoints++
+			s.lastCkpt = time.Now()
+		}
+		s.mu.Unlock()
+	}()
+
+	payload := appendDatabase(nil, db)
+	final := filepath.Join(s.dir, ckptName(seq))
+	tmp := final + ".tmp"
+	if err := writeCheckpointFile(tmp, seq, payload); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !s.opt.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+
+	// The new checkpoint supersedes all older segments and checkpoints.
+	s.mu.Lock()
+	var drop []uint64
+	for sseq := range s.segSizes {
+		if sseq < seq {
+			drop = append(drop, sseq)
+		}
+	}
+	for _, sseq := range drop {
+		os.Remove(filepath.Join(s.dir, segName(sseq)))
+		s.walBytes -= s.segSizes[sseq]
+		delete(s.segSizes, sseq)
+	}
+	s.mu.Unlock()
+	if ents, derr := os.ReadDir(s.dir); derr == nil {
+		for _, e := range ents {
+			if cseq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok && cseq < seq {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint is BeginCheckpoint + WriteCheckpoint in one synchronous
+// call, for shutdown and tests. See BeginCheckpoint for the snapshot
+// consistency requirement.
+func (s *Store) Checkpoint(db *relation.Database) error {
+	seq, err := s.BeginCheckpoint()
+	if err != nil {
+		return err
+	}
+	return s.WriteCheckpoint(seq, db)
+}
+
+// Stats returns a snapshot of the durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		WALBytes:          s.walBytes,
+		Segments:          len(s.segSizes),
+		Appends:           s.appends,
+		Replayed:          s.replayed,
+		Checkpoints:       s.checkpoints,
+		LastCheckpoint:    s.lastCkpt,
+		LastCheckpointErr: s.lastCkptErr,
+	}
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Synced reports whether appends are fsynced before acknowledgment.
+// With Options.NoSync the log still survives a process crash (the page
+// cache holds it) but not a power failure or kernel panic.
+func (s *Store) Synced() bool { return !s.opt.NoSync }
+
+// Close flushes and closes the WAL. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.lockf != nil {
+		defer func() { s.lockf.Close(); s.lockf = nil }() // releases the dir lock
+	}
+	if s.seg == nil {
+		return nil
+	}
+	if !s.opt.NoSync {
+		if err := s.seg.Sync(); err != nil {
+			s.seg.Close()
+			return err
+		}
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}
+
+// --- checkpoint file I/O ---
+//
+// Layout: magic (8) | u32 crc32c(rest) | u64 seq | database payload.
+
+func writeCheckpointFile(path string, seq uint64, payload []byte) error {
+	// Header + payload are written separately and the CRC is streamed
+	// over both parts, so the (potentially huge) snapshot encoding is
+	// never copied into a second buffer.
+	var hdr [20]byte // magic(8) | crc(4) | seq(8)
+	copy(hdr[:8], ckptMagic)
+	putU64(hdr[12:], seq)
+	crc := crc32.Update(0, castTable, hdr[12:])
+	crc = crc32.Update(crc, castTable, payload)
+	putU32(hdr[8:], crc)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readCheckpoint(path string, wantSeq uint64) (*relation.Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(ckptMagic)+4+8 || string(data[:len(ckptMagic)]) != string(ckptMagic) {
+		return nil, corruptf("checkpoint header")
+	}
+	crc := readU32(data[len(ckptMagic):])
+	rest := data[len(ckptMagic)+4:]
+	if crcOf(rest) != crc {
+		return nil, corruptf("checkpoint CRC mismatch")
+	}
+	if seq := readU64(rest); seq != wantSeq {
+		return nil, corruptf("checkpoint sequence %d ≠ filename %d", seq, wantSeq)
+	}
+	return decodeDatabase(rest[8:])
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
