@@ -211,7 +211,8 @@ func seedStore(e *engine.Engine, schemaText string, tuples, domain int, seed int
 				Kind:   storage.KindInsert,
 				Rel:    i,
 				Width:  r.Card(),
-				Values: append([]relation.Value(nil), proj.RawData()...),
+				Values: proj.RawData(), // RawData is already a fresh flat copy
+
 			})
 		}
 	}

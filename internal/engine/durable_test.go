@@ -189,6 +189,55 @@ func TestEngineCheckpointSkipsWhenClean(t *testing.T) {
 	}
 }
 
+// TestEngineConcurrentCheckpoints races synchronous Checkpoint calls
+// against each other and against Apply-triggered background
+// checkpoints. The old implementation claimed a bare busy flag without
+// joining the in-flight WaitGroup, so a second synchronous caller
+// hot-looped on the CAS for the whole checkpoint window; callers now
+// serialize on the checkpoint mutex. Run under -race in CI.
+func TestEngineConcurrentCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold makes Apply trigger background checkpoints that
+	// contend with the synchronous ones.
+	e, st := openDurable(t, dir, storage.Options{NoSync: true, CheckpointBytes: 256})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				v := relation.Value(w*1000 + i)
+				if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{v, v + 1}})); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := e.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.ckptWG.Wait()
+	if st.Stats().Checkpoints == 0 {
+		t.Error("no checkpoint completed")
+	}
+	// The store must still recover cleanly after the contention.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, st2 := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st2.Close()
+	if !snapshotsEqual(e.Snapshot(), e2.Snapshot()) {
+		t.Error("recovered state differs after concurrent checkpoints")
+	}
+}
+
 // TestEngineDurableConcurrentReadWrite exercises the durable write path
 // under concurrent solves; run with -race it proves append-then-publish
 // never exposes a half-written snapshot.

@@ -102,9 +102,13 @@ type Engine struct {
 	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update/Apply)
 	db  atomic.Pointer[relation.Database] // current frozen snapshot
 
-	store    *storage.Store // nil for a purely in-memory engine
-	ckptBusy atomic.Bool    // one background checkpoint at a time
-	ckptWG   sync.WaitGroup // outstanding background checkpoints
+	store *storage.Store // nil for a purely in-memory engine
+	// ckptMu is held for the whole duration of any checkpoint write —
+	// background (TryLock; at most one in flight, never blocking the
+	// Apply path) or synchronous (Lock; concurrent Checkpoint callers
+	// queue on the mutex instead of spinning on a busy flag).
+	ckptMu sync.Mutex
+	ckptWG sync.WaitGroup // outstanding background checkpoints
 }
 
 // New returns an Engine with the given options.
@@ -336,42 +340,36 @@ func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts 
 // block; failures are recorded in the store's stats and retried on a
 // later trigger.
 func (e *Engine) maybeCheckpointLocked(db *relation.Database) {
-	if e.store == nil || !e.store.ShouldCheckpoint() || !e.ckptBusy.CompareAndSwap(false, true) {
+	if e.store == nil || !e.store.ShouldCheckpoint() || !e.ckptMu.TryLock() {
 		return
 	}
-	// Join the WaitGroup before the (fsync-heavy) rotation so a
-	// concurrent Engine.Checkpoint blocks in Wait instead of spinning
-	// on the busy flag for the whole rotation window.
 	e.ckptWG.Add(1)
 	seq, err := e.store.BeginCheckpoint()
 	if err != nil {
 		e.ckptWG.Done()
-		e.ckptBusy.Store(false)
+		e.ckptMu.Unlock()
 		return
 	}
 	go func() {
 		defer e.ckptWG.Done()
-		defer e.ckptBusy.Store(false)
+		defer e.ckptMu.Unlock()
 		_ = e.store.WriteCheckpoint(seq, db) // error lands in store stats
 	}()
 }
 
-// Checkpoint synchronously checkpoints the current snapshot. It
-// excludes background checkpoints by claiming the same in-flight slot
-// they use (waiting for any running one to finish first), so when it
-// returns no checkpoint write is outstanding — safe to Close the store
-// right after. It is a no-op without a Store. Use it at shutdown so
-// the next Open replays a short WAL tail.
+// Checkpoint synchronously checkpoints the current snapshot. It holds
+// the same checkpoint mutex the background writer uses, so it blocks
+// (without spinning) until any in-flight checkpoint finishes, and when
+// it returns no checkpoint write is outstanding — safe to Close the
+// store right after. Concurrent Checkpoint calls serialize on the
+// mutex. It is a no-op without a Store. Use it at shutdown so the next
+// Open replays a short WAL tail.
 func (e *Engine) Checkpoint() error {
 	if e.store == nil {
 		return nil
 	}
-	// Claim the single checkpoint slot; a racing Apply may CAS-win it
-	// for a background checkpoint between Wait and CAS, so loop.
-	for !e.ckptBusy.CompareAndSwap(false, true) {
-		e.ckptWG.Wait()
-	}
-	defer e.ckptBusy.Store(false)
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
 	e.wmu.Lock()
 	db := e.db.Load()
 	dirty := e.store.Dirty()

@@ -205,7 +205,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 type solveRequest struct {
 	X      string `json:"x"`
 	Schema string `json:"schema,omitempty"` // defaults to the serving schema
-	Limit  int    `json:"limit,omitempty"`  // tuple-echo cap for this request
+	// Limit caps the tuples echoed for this request. A pointer so that
+	// an explicit 0 ("card only, no tuples") is distinguishable from an
+	// omitted field (server default); negative limits are rejected.
+	Limit *int `json:"limit,omitempty"`
 	// Parallelism requests partition-parallel execution across that
 	// many shards; it is clamped to the engine's worker cap, and ≤ 1
 	// (or omitting it) keeps the serial path.
@@ -259,21 +262,29 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	par := s.E.ClampParallelism(req.Parallelism)
-	out, st, err := s.E.SolvePar(d, x, par)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
-		return
-	}
-	// The client may lower the echo cap per request but never raise it
-	// past the server's bound.
+	// The client may lower the echo cap per request — including to an
+	// explicit 0 for a card-only response — but never raise it past the
+	// server's bound. A negative limit is a request error, not a silent
+	// fallback to the default; validated before any evaluation work.
 	capTuples := s.MaxTuples
 	if capTuples <= 0 {
 		capTuples = DefaultMaxTuples
 	}
 	limit := capTuples
-	if req.Limit > 0 && req.Limit < capTuples {
-		limit = req.Limit
+	if req.Limit != nil {
+		switch l := *req.Limit; {
+		case l < 0:
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("negative limit %d", l))
+			return
+		case l < capTuples:
+			limit = l
+		}
+	}
+	par := s.E.ClampParallelism(req.Parallelism)
+	out, st, err := s.E.SolvePar(d, x, par)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
 	}
 	cols := out.Cols()
 	resp := SolveResponse{

@@ -118,6 +118,34 @@ func TestServerSolve(t *testing.T) {
 	}
 }
 
+// TestServerSolveLimitSemantics pins the edge cases of the per-request
+// echo cap: an explicit limit of 0 is a card-only request (zero tuples
+// echoed, full cardinality still reported), and a negative limit is a
+// request error — neither silently falls back to the server default.
+func TestServerSolveLimitSemantics(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	var zero SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad", "limit": 0}`, &zero)
+	if zero.Card == 0 {
+		t.Fatal("test query is empty; limit semantics unobservable")
+	}
+	if len(zero.Tuples) != 0 || !zero.Truncated {
+		t.Errorf("limit 0: %d tuples, truncated=%v; want 0 tuples, truncated", len(zero.Tuples), zero.Truncated)
+	}
+
+	if resp := post(t, ts.URL+"/solve", `{"x": "ad", "limit": -1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative limit: status %d, want 400", resp.StatusCode)
+	}
+
+	// Omitting the limit still echoes up to the server default.
+	var full SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &full)
+	if len(full.Tuples) != full.Card || full.Truncated {
+		t.Errorf("omitted limit: %d/%d tuples, truncated=%v", len(full.Tuples), full.Card, full.Truncated)
+	}
+}
+
 func TestServerErrorsAndStats(t *testing.T) {
 	ts, _, _ := testServer(t)
 

@@ -1,10 +1,11 @@
 package relation
 
-// Codec hooks over the arena layout. The durable-storage layer
+// Codec hooks over the chunked arena layout. The durable-storage layer
 // (internal/storage) serializes a relation as its attribute list plus
-// the raw row-major arena; the hash index and row hashes are rebuilt on
-// load rather than written to disk. These hooks expose exactly that
-// boundary without leaking mutable internals anywhere else.
+// the raw row-major arena, chunk by chunk; the hash index and row
+// hashes are rebuilt on load rather than written to disk. These hooks
+// expose exactly that boundary without leaking mutable internals
+// anywhere else.
 
 import (
 	"fmt"
@@ -15,22 +16,65 @@ import (
 // ValueBytes is the on-disk size of one Value.
 const ValueBytes = 4
 
-// RawData returns the backing arena: row i occupies
-// RawData()[i*width : (i+1)*width] with columns in Cols() order. The
-// slice is shared with the relation; callers must not modify it.
-func (r *Relation) RawData() []Value { return r.data[:r.n*r.width] }
+// RawData returns the arena flattened into one fresh row-major slice:
+// row i occupies RawData()[i*width : (i+1)*width] with columns in
+// Cols() order. The slice is a copy and the caller's to keep; the
+// chunked arena itself is never exposed mutable.
+func (r *Relation) RawData() []Value {
+	out := make([]Value, 0, r.n*r.width)
+	for i := range r.chunks {
+		out = append(out, r.chunks[i].data...)
+	}
+	return out
+}
+
+// ForEachChunk calls fn with each arena chunk's row-major data block,
+// in row order, until fn returns false. Concatenated in order the
+// blocks equal RawData(), so a serializer can stream the arena
+// chunk-by-chunk without ever materializing a flat copy — and a
+// chunk-granular writer can skip blocks it already holds. Blocks are
+// views into the arena; callers must not modify or retain them.
+func (r *Relation) ForEachChunk(fn func(block []Value) bool) {
+	for i := range r.chunks {
+		if !fn(r.chunks[i].data) {
+			return
+		}
+	}
+}
 
 // ArenaBytes returns the size of the tuple arena in bytes (the
 // dominant share of a relation's memory; index and hash overhead are
 // proportional).
 func (r *Relation) ArenaBytes() int { return r.n * r.width * ValueBytes }
 
+// grow presizes an empty relation for rows tuples: the owned index
+// table is allocated at its final size (loading never rehashes) and
+// the tail chunk at full chunk capacity.
+func (r *Relation) grow(rows int) {
+	if r.n != 0 || !r.baseOwned || rows <= 0 {
+		return
+	}
+	if size := tableSize(rows); size > len(r.base) {
+		r.base = make([]int32, size)
+	}
+	if len(r.chunks) == 0 && r.width > 0 {
+		c := rows
+		if c > ChunkRows {
+			c = ChunkRows
+		}
+		r.chunks = []chunk{{
+			data:   make([]Value, 0, c*r.width),
+			hashes: make([]uint64, 0, c),
+		}}
+	}
+}
+
 // FromArena builds a relation over attrs from a row-major arena of
 // rows tuples, rebuilding the row hashes and the set-semantics index
 // in one pass (the index is presized, so loading never rehashes).
 // Duplicate rows are eliminated, so the result may hold fewer than
-// rows tuples. FromArena takes ownership of data: the returned
-// relation dedups in place into the same backing array.
+// rows tuples. data is copied into the relation's chunked arena; the
+// caller keeps ownership of the input slice.
 func FromArena(u *schema.Universe, attrs schema.AttrSet, rows int, data []Value) (*Relation, error) {
 	r := New(u, attrs)
 	if rows < 0 {
@@ -50,15 +94,8 @@ func FromArena(u *schema.Universe, attrs schema.AttrSet, rows int, data []Value)
 	if len(data) != rows*r.width {
 		return nil, fmt.Errorf("relation: arena length %d ≠ %d rows × width %d", len(data), rows, r.width)
 	}
-	r.hashes = make([]uint64, 0, rows)
-	r.slots = make([]int32, tableSize(rows))
-	// Dedup in place: the write cursor (r.n rows) never passes the read
-	// cursor (row i), so appending into the shared array is safe.
-	r.data = data[:0]
-	for i := 0; i < rows; i++ {
-		row := data[i*r.width : (i+1)*r.width]
-		r.insertHashed(row, hashValues(row))
-	}
+	r.grow(rows)
+	r.InsertBlock(data)
 	return r, nil
 }
 
@@ -66,7 +103,11 @@ func FromArena(u *schema.Universe, attrs schema.AttrSet, rows int, data []Value)
 // column order; tuples not present — or of the wrong arity — are
 // ignored) and reports how many rows were actually removed. r is
 // unchanged, so Without is the copy-on-write delete mirroring Clone +
-// Insert on the write path.
+// Insert on the write path. Every full chunk before the first removed
+// row is shared with r, not rewritten — deleting recent rows touches
+// only the arena tail — while the rows from the first removal onward
+// are repacked into fresh chunks (the arena keeps all chunks but the
+// tail exactly full, so holes cannot be left in place).
 func (r *Relation) Without(ts []Tuple) (*Relation, int) {
 	del := New(r.U, r.attrs)
 	for _, t := range ts {
@@ -74,20 +115,46 @@ func (r *Relation) Without(ts []Tuple) (*Relation, int) {
 			del.Insert(t)
 		}
 	}
+	first := -1
+	if del.n > 0 {
+		for i := 0; i < r.n; i++ {
+			if del.contains(r.row(i), r.hash(i)) {
+				first = i
+				break
+			}
+		}
+	}
+	if first < 0 {
+		return r.Clone(), 0
+	}
 	out := New(r.U, r.attrs)
-	if r.n > 0 {
-		out.data = make([]Value, 0, r.n*r.width)
-		out.hashes = make([]uint64, 0, r.n)
-		out.slots = make([]int32, tableSize(r.n))
+	keep := first >> chunkShift // chunks [0, keep) are full and untouched
+	out.chunks = append(out.chunks, r.chunks[:keep]...)
+	out.n = keep << chunkShift
+	// Rebuild the index over the survivors. Rows of r are distinct, so
+	// placement by stored hash needs no duplicate checks.
+	size := tableSize(r.n)
+	out.base = make([]int32, size)
+	mask := uint64(size - 1)
+	place := func(i int, h uint64) {
+		j := h & mask
+		for out.base[j] != 0 {
+			j = (j + 1) & mask
+		}
+		out.base[j] = int32(i + 1)
+	}
+	for i := 0; i < out.n; i++ {
+		place(i, r.hash(i))
 	}
 	removed := 0
-	for i := 0; i < r.n; i++ {
-		row := r.row(i)
-		if del.contains(row, r.hashes[i]) {
+	for i := out.n; i < r.n; i++ {
+		row, h := r.row(i), r.hash(i)
+		if del.contains(row, h) {
 			removed++
 			continue
 		}
-		out.insertHashed(row, r.hashes[i])
+		place(out.n, h)
+		out.appendRow(row, h)
 	}
 	return out, removed
 }

@@ -1,0 +1,398 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"gyokit/internal/schema"
+)
+
+// refSet is the oracle: a plain map-backed tuple set with deep-copy
+// snapshot semantics, against which the chunk-sharing relation must be
+// observably indistinguishable.
+type refSet map[string]Tuple
+
+func refKey(t Tuple) string {
+	b := make([]byte, 4*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return string(b)
+}
+
+func (s refSet) clone() refSet {
+	out := make(refSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s refSet) equal(t *testing.T, r *Relation, label string) {
+	t.Helper()
+	if r.Card() != len(s) {
+		t.Fatalf("%s: card %d, reference %d", label, r.Card(), len(s))
+	}
+	for _, tp := range s {
+		if !r.Has(tp) {
+			t.Fatalf("%s: missing tuple %v", label, tp)
+		}
+	}
+}
+
+// frozenState captures everything observable about a snapshot so later
+// mutations of descendants can be checked against it byte for byte.
+type frozenState struct {
+	rel  *Relation
+	ref  refSet
+	raw  []Value
+	card int
+}
+
+func capture(r *Relation, ref refSet) frozenState {
+	return frozenState{rel: r, ref: ref, raw: r.RawData(), card: r.Card()}
+}
+
+func (f frozenState) check(t *testing.T, label string) {
+	t.Helper()
+	if f.rel.Card() != f.card {
+		t.Fatalf("%s: frozen snapshot card changed %d → %d", label, f.card, f.rel.Card())
+	}
+	if !slices.Equal(f.rel.RawData(), f.raw) {
+		t.Fatalf("%s: frozen snapshot arena changed", label)
+	}
+	f.ref.equal(t, f.rel, label)
+}
+
+// TestChunkedCloneObservablyDeepCopy is the differential property the
+// persistent arena must preserve: mutating a clone of a frozen
+// multi-chunk snapshot — crossing chunk boundaries, inserting
+// duplicates, deleting — leaves the parent byte-identical, exactly as
+// the old deep-copying Clone did.
+func TestChunkedCloneObservablyDeepCopy(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b", "c")
+	rng := rand.New(rand.NewSource(42))
+
+	parent := New(u, attrs)
+	ref := refSet{}
+	var first Tuple
+	for i := 0; i < 3*ChunkRows/2; i++ { // spans two chunks, tail half full
+		tp := Tuple{Value(i), Value(rng.Intn(1 << 20)), Value(i % 7)}
+		parent.Insert(tp)
+		ref[refKey(tp)] = tp
+		if first == nil {
+			first = tp
+		}
+	}
+	parent.Freeze()
+	snap := capture(parent, ref)
+
+	clone := parent.Clone()
+	if clone.Frozen() {
+		t.Fatal("clone of frozen relation is frozen")
+	}
+	// White-box: full chunks are shared, not copied.
+	if &clone.chunks[0].data[0] != &parent.chunks[0].data[0] {
+		t.Error("clone copied a full chunk instead of sharing it")
+	}
+	if &clone.base[0] != &parent.base[0] {
+		t.Error("clone of a frozen relation copied the base index")
+	}
+
+	cref := ref.clone()
+	for i := 0; i < ChunkRows; i++ { // crosses a chunk boundary in the clone
+		tp := Tuple{Value(1 << 22), Value(i), Value(i)}
+		clone.Insert(tp)
+		cref[refKey(tp)] = tp
+	}
+	clone.Insert(first) // duplicate of an early parent row: ignored
+	snap.check(t, "after clone inserts")
+	cref.equal(t, clone, "mutated clone")
+
+	// Deleting from the clone (copy-on-write) must not touch either.
+	var dels []Tuple
+	for _, tp := range []Tuple{{1, 0, 0}, {1 << 22, 5, 5}} {
+		for k, v := range cref {
+			if v[0] == tp[0] {
+				dels = append(dels, v)
+				delete(cref, k)
+			}
+		}
+	}
+	shrunk, removed := clone.Without(dels)
+	if removed != len(dels) {
+		t.Fatalf("Without removed %d, want %d", removed, len(dels))
+	}
+	snap.check(t, "after Without")
+	cref.equal(t, shrunk, "Without result")
+}
+
+// TestChunkedSnapshotLineage drives the engine's real write pattern —
+// clone the frozen snapshot, apply a small batch, freeze, publish —
+// across enough batches to cross chunk boundaries and force an overlay
+// merge, holding every historical snapshot and checking at each step
+// (and again at the end) that none of them ever changes.
+func TestChunkedSnapshotLineage(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("x", "y")
+	rng := rand.New(rand.NewSource(7))
+
+	cur := New(u, attrs)
+	ref := refSet{}
+	for i := 0; i < 10_000; i++ {
+		tp := Tuple{Value(i), Value(rng.Intn(1 << 16))}
+		cur.Insert(tp)
+		ref[refKey(tp)] = tp
+	}
+	cur.Freeze()
+
+	var history []frozenState
+	history = append(history, capture(cur, ref))
+	next := 10_000
+	for batch := 0; batch < 64; batch++ {
+		work := cur.Clone()
+		ref = ref.clone()
+		if batch%10 == 9 {
+			// Delete a mix of old (prefix-rewriting) and recent rows.
+			var dels []Tuple
+			for _, v := range []Value{Value(batch), Value(next - 3)} {
+				for k, tp := range ref {
+					if tp[0] == v {
+						dels = append(dels, tp)
+						delete(ref, k)
+					}
+				}
+			}
+			work, _ = work.Without(dels)
+		}
+		for i := 0; i < 97; i++ {
+			tp := Tuple{Value(next), Value(rng.Intn(1 << 16))}
+			next++
+			work.Insert(tp)
+			ref[refKey(tp)] = tp
+		}
+		work.Freeze()
+		cur = work
+		history = append(history, capture(cur, ref))
+		// Every earlier snapshot must still read exactly as captured.
+		for i, h := range history {
+			h.check(t, fmt.Sprintf("batch %d, snapshot %d", batch, i))
+		}
+	}
+	if got := len(history); got != 65 {
+		t.Fatalf("history length %d", got)
+	}
+}
+
+// TestWithoutSharesCleanPrefix pins the structural-sharing contract of
+// the chunked delete: removing rows that live in the arena tail leaves
+// every full chunk before them shared with the original.
+func TestWithoutSharesCleanPrefix(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	r := New(u, attrs)
+	n := 2*ChunkRows + 100
+	for i := 0; i < n; i++ {
+		r.Insert(Tuple{Value(i), Value(i + 1)})
+	}
+	r.Freeze()
+
+	last := Value(n - 1)
+	out, removed := r.Without([]Tuple{{last, last + 1}})
+	if removed != 1 || out.Card() != n-1 {
+		t.Fatalf("removed %d, card %d", removed, out.Card())
+	}
+	for k := 0; k < 2; k++ {
+		if &out.chunks[k].data[0] != &r.chunks[k].data[0] {
+			t.Errorf("full chunk %d was rewritten, not shared", k)
+		}
+	}
+	if r.Card() != n || !r.Has(Tuple{last, last + 1}) {
+		t.Error("Without mutated the original")
+	}
+
+	// Deleting an early row rewrites from its chunk onward but still
+	// yields the right set.
+	out2, removed := r.Without([]Tuple{{0, 1}})
+	if removed != 1 || out2.Card() != n-1 || out2.Has(Tuple{0, 1}) || !out2.Has(Tuple{last, last + 1}) {
+		t.Fatalf("early delete: removed %d, card %d", removed, out2.Card())
+	}
+}
+
+// TestSiblingClonesDoNotShareTailCapacity: two clones derived from the
+// same frozen snapshot share the non-full tail chunk read-only, but
+// their first appends must reallocate privately — if both wrote into
+// the shared backing array's spare capacity they would silently
+// overwrite each other's rows. (Database.InsertTuple twice on one
+// frozen snapshot is exactly this shape.)
+func TestSiblingClonesDoNotShareTailCapacity(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	parent := New(u, attrs)
+	for i := 0; i < 10; i++ { // tail chunk far from full, spare capacity
+		parent.Insert(Tuple{Value(i), Value(i)})
+	}
+	parent.Freeze()
+
+	c1 := parent.Clone()
+	c1.Insert(Tuple{100, 101})
+	c2 := parent.Clone()
+	c2.Insert(Tuple{200, 201})
+	if got := c1.TupleAt(10); got[0] != 100 || got[1] != 101 {
+		t.Errorf("sibling clone overwrote c1's row: %v", got)
+	}
+	if got := c2.TupleAt(10); got[0] != 200 || got[1] != 201 {
+		t.Errorf("c2's own row wrong: %v", got)
+	}
+	if c1.Has(Tuple{200, 201}) || c2.Has(Tuple{100, 101}) {
+		t.Error("sibling clones leaked rows into each other")
+	}
+	if parent.Card() != 10 || parent.Has(Tuple{100, 101}) || parent.Has(Tuple{200, 201}) {
+		t.Error("parent disturbed by sibling clone appends")
+	}
+
+	// Same shape through the Database copy-on-write API.
+	d := schema.MustParse(u, "ab")
+	db := &Database{D: d, Rels: []*Relation{parent}}
+	db.Freeze()
+	dbA := db.InsertTuple(0, Tuple{300, 301})
+	dbB := db.InsertTuple(0, Tuple{400, 401})
+	if !dbA.Rels[0].Has(Tuple{300, 301}) || dbA.Rels[0].Has(Tuple{400, 401}) {
+		t.Error("InsertTuple siblings interfered (A)")
+	}
+	if !dbB.Rels[0].Has(Tuple{400, 401}) || dbB.Rels[0].Has(Tuple{300, 301}) {
+		t.Error("InsertTuple siblings interfered (B)")
+	}
+}
+
+// TestOverlayMergeRebuildsOwnedBase pins the index lifecycle: a clone
+// of a frozen relation starts on the shared base + private overlay,
+// and once the overlay outgrows its bound it merges into a fresh owned
+// table — without ever touching the ancestor's table.
+func TestOverlayMergeRebuildsOwnedBase(t *testing.T) {
+	u := schema.NewUniverse()
+	attrs := u.Set("a", "b")
+	parent := New(u, attrs)
+	for i := 0; i < 500; i++ {
+		parent.Insert(Tuple{Value(i), Value(i)})
+	}
+	parent.Freeze()
+	parentBase := parent.base
+
+	c := parent.Clone()
+	if c.baseOwned {
+		t.Fatal("clone of frozen relation owns its base table")
+	}
+	for i := 0; i < ChunkRows+100; i++ { // past the overlay bound
+		c.Insert(Tuple{Value(1 << 20), Value(i)})
+	}
+	if !c.baseOwned {
+		t.Error("overlay never merged into an owned base")
+	}
+	if c.over != nil {
+		t.Error("overlay survived the merge")
+	}
+	if &parent.base[0] != &parentBase[0] || parent.Card() != 500 {
+		t.Error("merge disturbed the ancestor")
+	}
+	if c.Card() != 500+ChunkRows+100 {
+		t.Errorf("clone card %d", c.Card())
+	}
+	// Post-merge lookups still see both old and new rows.
+	if !c.Has(Tuple{3, 3}) || !c.Has(Tuple{1 << 20, 7}) || c.Has(Tuple{9, 8}) {
+		t.Error("post-merge lookups wrong")
+	}
+}
+
+// TestInsertBlockDedups covers the bulk-insert mirror of Insert used by
+// WAL replay and batch apply.
+func TestInsertBlockDedups(t *testing.T) {
+	u := schema.NewUniverse()
+	r := New(u, u.Set("a", "b"))
+	if got := r.InsertBlock([]Value{1, 2, 3, 4, 1, 2}); got != 2 {
+		t.Fatalf("InsertBlock added %d, want 2", got)
+	}
+	if got := r.InsertBlock([]Value{3, 4, 5, 6}); got != 1 {
+		t.Fatalf("second InsertBlock added %d, want 1", got)
+	}
+	if r.Card() != 3 {
+		t.Fatalf("card %d, want 3", r.Card())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged InsertBlock did not panic")
+		}
+	}()
+	r.InsertBlock([]Value{9})
+}
+
+// FuzzArenaChunks round-trips random arenas through the chunked layout:
+// build → RawData → FromArena must be an identity on the tuple set, and
+// mutating a clone must never disturb the frozen original. Runs in the
+// CI fuzz-smoke lane.
+func FuzzArenaChunks(f *testing.F) {
+	f.Add(uint8(2), uint16(5), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(uint8(1), uint16(3000), []byte{0xff, 0x01})
+	f.Add(uint8(3), uint16(0), []byte{})
+	f.Fuzz(func(t *testing.T, w uint8, rows uint16, raw []byte) {
+		width := int(w)%4 + 1
+		n := int(rows) % 6000
+		u := schema.NewUniverse()
+		names := []string{"a", "b", "c", "d"}
+		attrs := u.Set(names[:width]...)
+
+		data := make([]Value, n*width)
+		for i := range data {
+			if len(raw) > 0 {
+				data[i] = Value(raw[i%len(raw)]) * Value(i%257)
+			}
+		}
+		r, err := FromArena(u, attrs, n, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round, err := FromArena(u, attrs, r.Card(), r.RawData())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !round.Equal(r) {
+			t.Fatalf("RawData round trip lost tuples: %d vs %d", round.Card(), r.Card())
+		}
+
+		r.Freeze()
+		before := r.RawData()
+		clone := r.Clone()
+		tp := make(Tuple, width)
+		for i := 0; i < 64; i++ {
+			for j := range tp {
+				tp[j] = Value(i*width + j + 1<<20)
+			}
+			clone.Insert(tp)
+		}
+		if clone.Card() != r.Card()+64 {
+			t.Fatalf("clone card %d, want %d", clone.Card(), r.Card()+64)
+		}
+		if !slices.Equal(r.RawData(), before) || r.Card() != n-dupCount(data, width, n) {
+			t.Fatal("mutating the clone changed the frozen original")
+		}
+	})
+}
+
+// dupCount counts duplicate rows in a row-major arena (the rows
+// FromArena's set semantics eliminate).
+func dupCount(data []Value, width, rows int) int {
+	seen := map[string]bool{}
+	dups := 0
+	for i := 0; i < rows; i++ {
+		k := refKey(Tuple(data[i*width : (i+1)*width]))
+		if seen[k] {
+			dups++
+		}
+		seen[k] = true
+	}
+	return dups
+}

@@ -260,7 +260,7 @@ func (e *Exec) Semijoin(r, s *Relation) *Relation {
 				break
 			}
 			if hi := int(head - 1); keyh[hi] == h && keyEqual(s, hi, sPos, kbuf) {
-				out.insertHashed(row, r.hashes[i])
+				out.insertHashed(row, r.hash(i))
 				break
 			}
 			j = (j + 1) & mask

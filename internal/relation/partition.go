@@ -78,7 +78,7 @@ func Partition(r *Relation, key schema.AttrSet, p int) *Partitioning {
 			kbuf[k] = row[p2]
 		}
 		s := shardOf(hashValues(kbuf), p)
-		pt.Shards[s].insertHashed(row, r.hashes[i])
+		pt.Shards[s].insertHashed(row, r.hash(i))
 	}
 	return pt
 }
@@ -89,11 +89,10 @@ func Partition(r *Relation, key schema.AttrSet, p int) *Partitioning {
 func (pt *Partitioning) Merge() *Relation {
 	first := pt.Shards[0]
 	out := New(first.U, first.attrs)
-	out.data = make([]Value, 0, pt.Card()*first.width)
-	out.hashes = make([]uint64, 0, pt.Card())
+	out.grow(pt.Card())
 	for _, sh := range pt.Shards {
 		for i := 0; i < sh.n; i++ {
-			out.insertHashed(sh.row(i), sh.hashes[i])
+			out.insertHashed(sh.row(i), sh.hash(i))
 		}
 	}
 	return out
@@ -230,11 +229,10 @@ func (pe *ParExec) partitionSpans(u *schema.Universe, attrs, key schema.AttrSet,
 			n += len(buckets[w][s])
 		}
 		sh := New(u, attrs)
-		sh.data = make([]Value, 0, n*sh.width)
-		sh.hashes = make([]uint64, 0, n)
+		sh.grow(n)
 		for w, sp := range spans {
 			for _, i := range buckets[w][s] {
-				sh.insertHashed(sp.r.row(int(i)), sp.r.hashes[i])
+				sh.insertHashed(sp.r.row(int(i)), sp.r.hash(int(i)))
 			}
 		}
 		pt.Shards[s] = sh

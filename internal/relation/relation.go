@@ -3,14 +3,21 @@
 // universal-relation database construction (paper §2). Tuples carry
 // int32 values; relations have set semantics (duplicates eliminated).
 //
-// Storage is columnar-adjacent: every relation keeps its rows in one
-// flat []Value arena with width-strided access (row i occupies
-// data[i*width : (i+1)*width]), never as per-row slices. Set semantics
-// are enforced by an open-addressing hash index over 64-bit row hashes
-// with full collision verification — no string keys are materialized
-// anywhere on the insert, lookup, join, or semijoin paths. The
-// operators live on Exec (see exec.go), a reusable execution context
-// that amortizes hash tables and scratch buffers across a whole
+// Storage is columnar-adjacent and persistent: every relation keeps its
+// rows in a chunked row-major arena — fixed-size (ChunkRows) immutable
+// chunks with width-strided access, never per-row slices. Full chunks
+// are immutable from the moment they fill, so snapshots share them
+// structurally: Clone of a frozen relation copies only the chunk table
+// (slice headers) and the small index overlay, making the engine's
+// copy-on-write write path O(batch) instead of O(card) per mutation
+// batch. Set semantics are enforced by an open-addressing hash index
+// over 64-bit row hashes with full collision verification — a shared
+// immutable base table inherited from the snapshot lineage plus a small
+// private overlay for rows appended since, merged back into an owned
+// base once the overlay outgrows its bound. No string keys are
+// materialized anywhere on the insert, lookup, join, or semijoin paths.
+// The operators live on Exec (see exec.go), a reusable execution
+// context that amortizes hash tables and scratch buffers across a whole
 // program run; the methods on Relation are convenience wrappers over a
 // throwaway Exec.
 package relation
@@ -32,6 +39,29 @@ type Value = int32
 // attribute list.
 type Tuple []Value
 
+// ChunkRows is the arena chunk size in rows. A chunk that reaches
+// ChunkRows rows is full and immutable forever; only the (unique,
+// growing) tail chunk of a relation is ever appended to. 4096 rows
+// keeps a full chunk's arena at 16·width KiB plus 32 KiB of row hashes
+// — big enough to amortize the chunk-table indirection, small enough
+// that the copy-on-write tail copy stays trivial next to a large
+// relation.
+const ChunkRows = 1 << chunkShift
+
+const (
+	chunkShift = 12
+	chunkMask  = ChunkRows - 1
+)
+
+// chunk is one fixed-capacity block of the arena: up to ChunkRows rows
+// of values (row-major) with their precomputed 64-bit hashes alongside.
+// len(hashes) is the chunk's row count; len(data) is always row count ×
+// width.
+type chunk struct {
+	data   []Value
+	hashes []uint64
+}
+
 // Relation is a relation state over a fixed attribute set.
 //
 // A Relation is safe for concurrent READS (operators never mutate their
@@ -39,15 +69,29 @@ type Tuple []Value
 // a relation immutable, turning later Inserts into panics — the serving
 // layer freezes every relation of a published Database snapshot so that
 // accidental writes to shared state fail loudly instead of racing.
+// Freezing also unlocks cheap snapshots: Clone of a frozen relation
+// shares every chunk and the base index with the original.
 type Relation struct {
-	U      *schema.Universe
-	attrs  schema.AttrSet
-	cols   []schema.Attr // sorted ascending
-	width  int
-	data   []Value  // arena: row i is data[i*width : (i+1)*width]
-	hashes []uint64 // hashes[i] = hashValues(row i)
-	slots  []int32  // open addressing: row index + 1; 0 = empty
+	U     *schema.Universe
+	attrs schema.AttrSet
+	cols  []schema.Attr // sorted ascending
+	width int
+
+	chunks []chunk // row i lives in chunks[i>>chunkShift] at offset (i&chunkMask)*width
 	n      int
+
+	// The set-semantics index. When baseOwned, base is this relation's
+	// private mutable open-addressing table over all n rows (overlay
+	// unused). When !baseOwned, base is an immutable table inherited
+	// from a snapshot ancestor covering rows [0, baseN), and over is a
+	// private overlay covering rows [baseN, n); once the overlay
+	// outgrows overlayBound the two are merged into a fresh owned base.
+	// Slot values are row index + 1; 0 = empty.
+	base      []int32
+	over      []int32
+	baseN     int
+	baseOwned bool
+
 	frozen atomic.Bool
 }
 
@@ -55,11 +99,21 @@ type Relation struct {
 func New(u *schema.Universe, attrs schema.AttrSet) *Relation {
 	cols := attrs.Attrs()
 	return &Relation{
-		U:     u,
-		attrs: attrs.Clone(),
-		cols:  cols,
-		width: len(cols),
+		U:         u,
+		attrs:     attrs.Clone(),
+		cols:      cols,
+		width:     len(cols),
+		baseOwned: true,
 	}
+}
+
+// NewSized returns an empty relation over attrs presized for rows
+// tuples: the index table is allocated at its final size and the first
+// chunk at full capacity, so bulk-loading rows tuples never rehashes.
+func NewSized(u *schema.Universe, attrs schema.AttrSet, rows int) *Relation {
+	r := New(u, attrs)
+	r.grow(rows)
+	return r
 }
 
 // Attrs returns the relation's attribute set.
@@ -71,9 +125,15 @@ func (r *Relation) Cols() []schema.Attr { return append([]schema.Attr(nil), r.co
 // Card returns the number of tuples.
 func (r *Relation) Card() int { return r.n }
 
-// row returns the i-th row as a view into the arena.
+// row returns the i-th row as a view into its arena chunk.
 func (r *Relation) row(i int) []Value {
-	return r.data[i*r.width : (i+1)*r.width]
+	o := (i & chunkMask) * r.width
+	return r.chunks[i>>chunkShift].data[o : o+r.width]
+}
+
+// hash returns the stored 64-bit hash of row i.
+func (r *Relation) hash(i int) uint64 {
+	return r.chunks[i>>chunkShift].hashes[i&chunkMask]
 }
 
 // Tuples returns the rows as views into the arena (shared; callers
@@ -91,65 +151,151 @@ func (r *Relation) Tuples() []Tuple {
 // of row headers.
 func (r *Relation) TupleAt(i int) Tuple { return Tuple(r.row(i)) }
 
-// growIndex (re)builds the open-addressing table at double capacity,
-// reusing the stored row hashes so rows are never re-hashed.
-func (r *Relation) growIndex() {
-	size := 16
-	if len(r.slots) > 0 {
-		size = 2 * len(r.slots)
+// appendRow appends a row (copied) and its hash to the arena tail,
+// starting a fresh chunk when the tail is full. Index maintenance is
+// the caller's job.
+func (r *Relation) appendRow(vals []Value, h uint64) {
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1].hashes) == ChunkRows {
+		r.chunks = append(r.chunks, chunk{})
 	}
-	slots := make([]int32, size)
+	c := &r.chunks[len(r.chunks)-1]
+	c.data = append(c.data, vals...)
+	c.hashes = append(c.hashes, h)
+	r.n++
+}
+
+// growBase (re)builds the owned open-addressing table at double
+// capacity, reusing the stored row hashes so rows are never re-hashed.
+func (r *Relation) growBase() {
+	size := 16
+	if len(r.base) > 0 {
+		size = 2 * len(r.base)
+	}
+	r.base = rebuildTable(r, size, 0, r.n)
+}
+
+// growOverlay doubles the overlay table, re-placing the overlay rows.
+func (r *Relation) growOverlay() {
+	size := 16
+	if len(r.over) > 0 {
+		size = 2 * len(r.over)
+	}
+	r.over = rebuildTable(r, size, r.baseN, r.n)
+}
+
+// rebuildTable builds a table of the given power-of-two size holding
+// rows [lo, hi) of r, placed by their stored hashes. Rows of a relation
+// are distinct by construction, so placement needs no compares.
+func rebuildTable(r *Relation, size, lo, hi int) []int32 {
+	t := make([]int32, size)
 	mask := uint64(size - 1)
-	for i := 0; i < r.n; i++ {
-		j := r.hashes[i] & mask
-		for slots[j] != 0 {
+	for i := lo; i < hi; i++ {
+		j := r.hash(i) & mask
+		for t[j] != 0 {
 			j = (j + 1) & mask
 		}
-		slots[j] = int32(i + 1)
+		t[j] = int32(i + 1)
 	}
-	r.slots = slots
+	return t
+}
+
+// overlayBound is the overlay row count past which a shared-base
+// relation merges base+overlay into a fresh owned table. The bound
+// grows with the relation (n/64) so sustained ingest rebuilds the big
+// table geometrically rarely, with a floor so small relations don't
+// thrash.
+func (r *Relation) overlayBound() int {
+	if b := r.n / 64; b > ChunkRows {
+		return b
+	}
+	return ChunkRows
+}
+
+// rebuildOwned merges the shared base and the overlay into one owned
+// table sized for n rows.
+func (r *Relation) rebuildOwned() {
+	r.base = rebuildTable(r, tableSize(r.n), 0, r.n)
+	r.baseOwned = true
+	r.baseN = r.n
+	r.over = nil
+}
+
+// probe reports whether a row equal to vals (with hash h) is indexed by
+// the given table.
+func (r *Relation) probe(table []int32, vals []Value, h uint64) bool {
+	if len(table) == 0 {
+		return false
+	}
+	mask := uint64(len(table) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := table[j]
+		if s == 0 {
+			return false
+		}
+		if i := int(s - 1); r.hash(i) == h && valuesEqual(r.row(i), vals) {
+			return true
+		}
+	}
 }
 
 // insertHashed adds the row (given with its precomputed hash) unless an
 // equal row is present; it reports whether the row was added. vals is
 // copied into the arena.
 func (r *Relation) insertHashed(vals []Value, h uint64) bool {
-	if 4*(r.n+1) > 3*len(r.slots) {
-		r.growIndex()
+	if r.baseOwned {
+		if 4*(r.n+1) > 3*len(r.base) {
+			r.growBase()
+		}
+		mask := uint64(len(r.base) - 1)
+		j := h & mask
+		for {
+			s := r.base[j]
+			if s == 0 {
+				r.base[j] = int32(r.n + 1)
+				r.appendRow(vals, h)
+				return true
+			}
+			if i := int(s - 1); r.hash(i) == h && valuesEqual(r.row(i), vals) {
+				return false
+			}
+			j = (j + 1) & mask
+		}
 	}
-	mask := uint64(len(r.slots) - 1)
+	// Shared base: duplicate-check it read-only, then claim an overlay
+	// slot. The shared table is never written — ancestors and siblings
+	// keep probing it concurrently.
+	if r.probe(r.base, vals, h) {
+		return false
+	}
+	if 4*(r.n-r.baseN+1) > 3*len(r.over) {
+		r.growOverlay()
+	}
+	mask := uint64(len(r.over) - 1)
 	j := h & mask
 	for {
-		s := r.slots[j]
+		s := r.over[j]
 		if s == 0 {
-			r.slots[j] = int32(r.n + 1)
-			r.data = append(r.data, vals...)
-			r.hashes = append(r.hashes, h)
-			r.n++
-			return true
+			r.over[j] = int32(r.n + 1)
+			r.appendRow(vals, h)
+			break
 		}
-		if i := int(s - 1); r.hashes[i] == h && valuesEqual(r.row(i), vals) {
+		if i := int(s - 1); r.hash(i) == h && valuesEqual(r.row(i), vals) {
 			return false
 		}
 		j = (j + 1) & mask
 	}
+	if r.n-r.baseN > r.overlayBound() {
+		r.rebuildOwned()
+	}
+	return true
 }
 
 // contains reports whether a row equal to vals (with hash h) is present.
 func (r *Relation) contains(vals []Value, h uint64) bool {
-	if len(r.slots) == 0 {
-		return false
+	if r.probe(r.base, vals, h) {
+		return true
 	}
-	mask := uint64(len(r.slots) - 1)
-	for j := h & mask; ; j = (j + 1) & mask {
-		s := r.slots[j]
-		if s == 0 {
-			return false
-		}
-		if i := int(s - 1); r.hashes[i] == h && valuesEqual(r.row(i), vals) {
-			return true
-		}
-	}
+	return len(r.over) > 0 && r.probe(r.over, vals, h)
 }
 
 // Insert adds a tuple given in column order. Duplicates are ignored.
@@ -165,6 +311,30 @@ func (r *Relation) Insert(t Tuple) {
 	r.insertHashed(t, hashValues(t))
 }
 
+// InsertBlock inserts a row-major block of tuples given in column
+// order (len(data) must be a multiple of the width, which must be
+// positive) and reports how many were actually inserted — duplicates,
+// inside the block or against the relation, are ignored. It is the
+// bulk mirror of Insert: the WAL-replay and batch-apply paths feed
+// whole mutation batches through it without materializing per-row
+// Tuple headers.
+func (r *Relation) InsertBlock(data []Value) int {
+	if r.frozen.Load() {
+		panic("relation: insert into frozen relation (clone the snapshot first)")
+	}
+	if r.width == 0 || len(data)%r.width != 0 {
+		panic(fmt.Sprintf("relation: block of %d values over width %d", len(data), r.width))
+	}
+	added := 0
+	for o := 0; o < len(data); o += r.width {
+		row := data[o : o+r.width]
+		if r.insertHashed(row, hashValues(row)) {
+			added++
+		}
+	}
+	return added
+}
+
 // InsertMap adds a tuple given as attribute→value; all attributes of
 // the relation must be present.
 func (r *Relation) InsertMap(m map[schema.Attr]Value) {
@@ -172,7 +342,7 @@ func (r *Relation) InsertMap(m map[schema.Attr]Value) {
 	for i, c := range r.cols {
 		v, ok := m[c]
 		if !ok {
-			panic(fmt.Sprintf("relation: missing attribute %d", c))
+			panic(fmt.Sprintf("relation: missing attribute %q", r.U.Name(c)))
 		}
 		t[i] = v
 	}
@@ -187,14 +357,49 @@ func (r *Relation) Has(t Tuple) bool {
 	return r.contains(t, hashValues(t))
 }
 
-// Clone returns a deep copy. The copy is never frozen, so cloning is
-// the copy-on-write escape hatch for modifying a snapshot relation.
+// Clone returns an independent copy sharing structure with r wherever
+// that is safe. The copy is never frozen, so cloning is the
+// copy-on-write escape hatch for modifying a snapshot relation.
+//
+// Full chunks are immutable from birth and always shared. The tail
+// chunk and the index are shared when they can never change under the
+// copy's feet — the tail when r is frozen, the base table when r is
+// frozen or the table was itself inherited frozen — and deep-copied
+// otherwise. Cloning a frozen snapshot relation therefore costs
+// O(chunk-table + overlay), independent of cardinality: the engine's
+// per-batch copy-on-write write path.
 func (r *Relation) Clone() *Relation {
 	out := New(r.U, r.attrs)
-	out.data = append([]Value(nil), r.data...)
-	out.hashes = append([]uint64(nil), r.hashes...)
-	out.slots = append([]int32(nil), r.slots...)
+	out.chunks = append([]chunk(nil), r.chunks...)
 	out.n = r.n
+	frozen := r.frozen.Load()
+	if len(out.chunks) > 0 {
+		if t := &out.chunks[len(out.chunks)-1]; len(t.hashes) < ChunkRows {
+			if frozen {
+				// The frozen parent can never append, but two sibling
+				// clones of it could both append into the tail's spare
+				// backing capacity and clobber each other — clip the
+				// capacity so the first append reallocates privately.
+				t.data = t.data[:len(t.data):len(t.data)]
+				t.hashes = t.hashes[:len(t.hashes):len(t.hashes)]
+			} else {
+				t.data = append([]Value(nil), t.data...)
+				t.hashes = append([]uint64(nil), t.hashes...)
+			}
+		}
+	}
+	if frozen || !r.baseOwned {
+		out.base = r.base
+		out.baseOwned = false
+		out.baseN = r.baseN
+		if r.baseOwned {
+			out.baseN = r.n
+		}
+		out.over = append([]int32(nil), r.over...)
+	} else {
+		out.base = append([]int32(nil), r.base...)
+		out.baseN = r.n
+	}
 	return out
 }
 
@@ -212,7 +417,7 @@ func (r *Relation) Equal(s *Relation) bool {
 		return false
 	}
 	for i := 0; i < r.n; i++ {
-		if !s.contains(r.row(i), r.hashes[i]) {
+		if !s.contains(r.row(i), r.hash(i)) {
 			return false
 		}
 	}
@@ -342,9 +547,10 @@ func (db *Database) WithRelation(i int, r *Relation) *Database {
 }
 
 // InsertTuple returns a snapshot of db in which t has been inserted
-// into relation i. Only relation i is deep-copied; db and all its
-// relation states are unchanged, so it is safe to call on a frozen
-// snapshot while readers evaluate against it.
+// into relation i. Only relation i is copied (structurally sharing its
+// chunks when frozen); db and all its relation states are unchanged,
+// so it is safe to call on a frozen snapshot while readers evaluate
+// against it.
 func (db *Database) InsertTuple(i int, t Tuple) *Database {
 	r := db.Rels[i].Clone()
 	r.Insert(t)

@@ -5,9 +5,11 @@ package storage
 // recomputed: the universe's attribute names (in interning order, so
 // attribute ids — and therefore arena column order — survive a round
 // trip), each relation's attribute-id list, and the raw row-major
-// arena. Row hashes and the set-semantics indexes are rebuilt on load
-// by relation.FromArena. All integers are unsigned varints except
-// tuple values, which are fixed 4-byte little-endian for bulk speed.
+// arena, streamed chunk by chunk on both sides (the byte format is a
+// flat arena; the persistent chunks just concatenate into it). Row
+// hashes and the set-semantics indexes are rebuilt on load. All
+// integers are unsigned varints except tuple values, which are fixed
+// 4-byte little-endian for bulk speed.
 
 import (
 	"encoding/binary"
@@ -73,15 +75,25 @@ func (r *reader) bytes(n int, what string) ([]byte, error) {
 }
 
 func (r *reader) values(n int, what string) ([]relation.Value, error) {
+	return r.valuesInto(nil, n, what)
+}
+
+// valuesInto decodes n values, reusing dst's backing array when it is
+// large enough (the chunk-at-a-time relation decoder recycles one
+// chunk-sized scratch buffer).
+func (r *reader) valuesInto(dst []relation.Value, n int, what string) ([]relation.Value, error) {
 	b, err := r.bytes(n*relation.ValueBytes, what)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]relation.Value, n)
-	for i := range out {
-		out[i] = relation.Value(binary.LittleEndian.Uint32(b[i*relation.ValueBytes:]))
+	if cap(dst) < n {
+		dst = make([]relation.Value, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = relation.Value(binary.LittleEndian.Uint32(b[i*relation.ValueBytes:]))
+	}
+	return dst, nil
 }
 
 // --- primitive writers ---
@@ -131,7 +143,16 @@ func appendRelation(dst []byte, r *relation.Relation) []byte {
 		dst = appendUvarint(dst, uint64(a))
 	}
 	dst = appendUvarint(dst, uint64(r.Card()))
-	return appendValues(dst, r.RawData())
+	// Serialize the arena chunk by chunk: the byte stream is identical
+	// to a flat row-major arena (chunks concatenate in row order), so
+	// the on-disk format is unchanged, but the encoder streams straight
+	// out of the persistent chunks without materializing a flat copy —
+	// the hook a chunk-granular incremental checkpoint writer needs.
+	r.ForEachChunk(func(block []relation.Value) bool {
+		dst = appendValues(dst, block)
+		return true
+	})
+	return dst
 }
 
 // decodeDatabase decodes an appendDatabase payload into a fresh
@@ -227,13 +248,29 @@ func decodeRelation(r *reader, u *schema.Universe, nNames int) (*relation.Relati
 	if width == 0 && rows > 1 {
 		return nil, corruptf("zero-width relation with %d rows", rows)
 	}
-	data, err := r.values(int(rows)*width, "arena")
-	if err != nil {
-		return nil, err
+	if width == 0 {
+		rel, err := relation.FromArena(u, schema.NewAttrSet(ids...), int(rows), nil)
+		if err != nil {
+			return nil, corruptf("%v", err)
+		}
+		return rel, nil
 	}
-	rel, err := relation.FromArena(u, schema.NewAttrSet(ids...), int(rows), data)
-	if err != nil {
-		return nil, corruptf("%v", err)
+	// Decode the arena a chunk at a time into the relation's own
+	// chunked layout: one reused chunk-sized scratch buffer instead of
+	// a second full-size flat arena alongside the relation being built.
+	rel := relation.NewSized(u, schema.NewAttrSet(ids...), int(rows))
+	var buf []relation.Value
+	for left := int(rows); left > 0; {
+		c := left
+		if c > relation.ChunkRows {
+			c = relation.ChunkRows
+		}
+		buf, err = r.valuesInto(buf, c*width, "arena")
+		if err != nil {
+			return nil, err
+		}
+		rel.InsertBlock(buf)
+		left -= c
 	}
 	return rel, nil
 }

@@ -212,14 +212,16 @@ func (m Mutation) apply(db *relation.Database, inPlace bool) (*relation.Database
 		if !inPlace {
 			r = r.Clone()
 		}
-		before := r.Card()
+		n := 0
 		if m.Width == 0 {
+			before := r.Card()
 			r.Insert(relation.Tuple{})
+			n = r.Card() - before
+		} else {
+			// Bulk path: the batch is already row-major, so it feeds the
+			// arena without materializing per-row Tuple headers.
+			n = r.InsertBlock(m.Values)
 		}
-		for o := 0; m.Width > 0 && o < len(m.Values); o += m.Width {
-			r.Insert(relation.Tuple(m.Values[o : o+m.Width]))
-		}
-		n := r.Card() - before
 		if inPlace {
 			return db, n, nil
 		}
