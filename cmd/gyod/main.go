@@ -8,7 +8,7 @@
 // Usage:
 //
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
-//	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-nosync]
+//	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-compactbytes N] [-nosync]
 //
 // Endpoints (JSON in/out):
 //
@@ -75,16 +75,18 @@ func run() error {
 	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory only)")
 	segBytes := flag.Int64("segbytes", storage.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
 	ckptBytes := flag.Int64("ckptbytes", storage.DefaultCheckpointBytes, "live-WAL bytes that trigger a background checkpoint (negative disables)")
+	compactBytes := flag.Int64("compactbytes", storage.DefaultCompactBytes, "chunk-store bytes past which checkpoint GC may compact (negative disables)")
 	noSync := flag.Bool("nosync", false, "skip fsync on WAL appends (faster, loses crash durability)")
 	flag.Parse()
 
-	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers}
+	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers, Logf: log.Printf}
 	var store *storage.Store
 	if *dataDir != "" {
 		var err error
 		store, err = storage.Open(*dataDir, storage.Options{
 			SegmentBytes:    *segBytes,
 			CheckpointBytes: *ckptBytes,
+			CompactBytes:    *compactBytes,
 			NoSync:          *noSync,
 		})
 		if err != nil {

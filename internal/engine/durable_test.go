@@ -1,9 +1,20 @@
 package engine
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
@@ -294,6 +305,260 @@ func TestEngineDurableConcurrentReadWrite(t *testing.T) {
 	defer st2.Close()
 	if !snapshotsEqual(e.Snapshot(), e2.Snapshot()) {
 		t.Error("recovered state differs after concurrent writes")
+	}
+}
+
+// TestEngineBackgroundCheckpointFailureLogged: a background checkpoint
+// is fire-and-forget, so Apply callers never see its error — the
+// engine must push it through Logf and the store must keep it sticky
+// in Stats until the next checkpoint succeeds and clears it.
+func TestEngineBackgroundCheckpointFailureLogged(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{NoSync: true, CheckpointBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var logMu sync.Mutex
+	var logs []string
+	e := New(Options{Store: st, Logf: func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}})
+
+	// A directory squatting on the chunk-store path makes every
+	// checkpoint fail deterministically: the store's first checkpoint
+	// always opens generation 1, and the generation only advances on
+	// success.
+	obstacle := filepath.Join(dir, "chunks-0000000000000001.gyo")
+	if err := os.Mkdir(obstacle, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{relation.Value(i), relation.Value(i + 1)}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.ckptWG.Wait()
+	logMu.Lock()
+	logged := false
+	for _, l := range logs {
+		if strings.Contains(l, "background checkpoint") && strings.Contains(l, "failed") {
+			logged = true
+		}
+	}
+	logMu.Unlock()
+	if !logged {
+		t.Errorf("background checkpoint failure not logged via Logf; logs = %q", logs)
+	}
+	if got := st.Stats(); got.LastCheckpointErr == "" {
+		t.Error("failed background checkpoint not recorded in Stats.LastCheckpointErr")
+	} else if got.Checkpoints != 0 {
+		t.Errorf("checkpoints = %d despite blocked chunk store", got.Checkpoints)
+	}
+
+	// Clear the obstacle: the next (synchronous) checkpoint succeeds
+	// and wipes the sticky error.
+	if err := os.Remove(obstacle); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.LastCheckpointErr != "" {
+		t.Errorf("successful checkpoint did not clear LastCheckpointErr: %q", got.LastCheckpointErr)
+	} else if got.Checkpoints == 0 {
+		t.Error("checkpoint after clearing obstacle not counted")
+	}
+	// The failure window never lost acknowledged data.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, st2 := openDurable(t, dir, storage.Options{NoSync: true})
+	defer st2.Close()
+	if !snapshotsEqual(e.Snapshot(), e2.Snapshot()) {
+		t.Error("recovered snapshot differs after checkpoint failure window")
+	}
+}
+
+// --- real-binary SIGKILL-during-incremental-checkpoint harness ------
+//
+// The in-process torn-file sweeps (internal/storage) prove recovery
+// from every byte-level crash state; this test closes the loop on the
+// real process: gyod with a tiny -ckptbytes threshold runs background
+// incremental checkpoints almost continuously, so SIGKILL right after
+// an acknowledged insert regularly lands mid-checkpoint. Every restart
+// must serve exactly the acknowledged tuples.
+
+func buildGyodBin(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available:", err)
+	}
+	bin := filepath.Join(t.TempDir(), "gyod")
+	out, err := exec.Command("go", "build", "-o", bin, "gyokit/cmd/gyod").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build gyod: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type gyodInst struct {
+	cmd      *exec.Cmd
+	base     string
+	done     chan error
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// wait blocks until the process exits and returns its exit error
+// (cached: safe to call repeatedly).
+func (p *gyodInst) wait() error {
+	p.waitOnce.Do(func() { p.waitErr = <-p.done })
+	return p.waitErr
+}
+
+// startGyodInst launches the binary and waits for its listen line.
+func startGyodInst(t *testing.T, bin string, args ...string) *gyodInst {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &gyodInst{cmd: cmd, done: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case err := <-p.done:
+		t.Fatalf("gyod exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("timeout waiting for gyod to listen")
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		p.wait()
+	})
+	return p
+}
+
+// kill SIGKILLs the process and reaps it (so the next boot's directory
+// lock is free).
+func (p *gyodInst) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p.wait()
+}
+
+func (p *gyodInst) postJSON(t *testing.T, path string, body, out any) {
+	t.Helper()
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(p.base+path, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s → %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+}
+
+func (p *gyodInst) stats(t *testing.T) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(p.base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestGyodSIGKILLDuringIncrementalCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildGyodBin(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	// ~1.6 KiB per acknowledged batch against a 200-byte checkpoint
+	// threshold: a background incremental checkpoint is in flight for
+	// most of the run, so the SIGKILL after the last ack regularly
+	// tears a manifest or chunk-store tail mid-write.
+	args := []string{"-data", dataDir, "-schema", "ab", "-tuples", "0",
+		"-nosync", "-ckptbytes", "200", "-segbytes", "4096"}
+
+	const rounds, batches, perBatch = 4, 24, 200
+	acked, next := 0, 0
+	for round := 0; round < rounds; round++ {
+		p := startGyodInst(t, bin, args...)
+		st := p.stats(t)
+		if len(st.Relations) != 1 || st.Relations[0].Card != acked {
+			t.Fatalf("round %d: recovered %+v, want card %d", round, st.Relations, acked)
+		}
+		for b := 0; b < batches; b++ {
+			tuples := make([][2]int, perBatch)
+			for j := range tuples {
+				tuples[j] = [2]int{2 * next, 2*next + 1}
+				next++
+			}
+			var mr MutateResponse
+			p.postJSON(t, "/insert", map[string]any{"rel": "ab", "tuples": tuples}, &mr)
+			if mr.Applied != perBatch {
+				t.Fatalf("round %d batch %d: applied %d, want %d", round, b, mr.Applied, perBatch)
+			}
+			acked += perBatch
+		}
+		p.kill(t)
+	}
+
+	// Final boot: all acked tuples survived every kill, and the
+	// graceful shutdown path (drain, final checkpoint, close) exits 0.
+	p := startGyodInst(t, bin, args...)
+	st := p.stats(t)
+	if len(st.Relations) != 1 || st.Relations[0].Card != acked {
+		t.Fatalf("final boot: recovered %+v, want card %d", st.Relations, acked)
+	}
+	if st.Durability == nil {
+		t.Fatal("final boot: /stats missing durability section")
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.wait(); err != nil {
+		t.Fatalf("graceful shutdown after kill rounds: %v", err)
 	}
 }
 

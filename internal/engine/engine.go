@@ -59,6 +59,11 @@ type Options struct {
 	// through Apply — Swap and Update still publish, but what they
 	// publish is not logged and would diverge from disk.
 	Store *storage.Store
+	// Logf, when non-nil, receives operational log lines the engine has
+	// no other way to surface — today that is background checkpoint
+	// failures, which would otherwise only land in the store's stats.
+	// log.Printf fits directly.
+	Logf func(format string, args ...any)
 }
 
 // Plan is a cache-resident compiled query: the classification of the
@@ -103,6 +108,7 @@ type Engine struct {
 	db  atomic.Pointer[relation.Database] // current frozen snapshot
 
 	store *storage.Store // nil for a purely in-memory engine
+	logf  func(format string, args ...any)
 	// ckptMu is held for the whole duration of any checkpoint write —
 	// background (TryLock; at most one in flight, never blocking the
 	// Apply path) or synchronous (Lock; concurrent Checkpoint callers
@@ -129,6 +135,7 @@ func New(opts Options) *Engine {
 	if size > 0 {
 		e.cache = newLRUCache(size)
 	}
+	e.logf = opts.Logf
 	if opts.Store != nil {
 		e.store = opts.Store
 		// Install the recovered state as the first snapshot: a durable
@@ -353,7 +360,12 @@ func (e *Engine) maybeCheckpointLocked(db *relation.Database) {
 	go func() {
 		defer e.ckptWG.Done()
 		defer e.ckptMu.Unlock()
-		_ = e.store.WriteCheckpoint(seq, db) // error lands in store stats
+		// The error also lands in the store's stats (and is cleared by
+		// the next successful checkpoint); logging it here is the only
+		// push-style signal a fire-and-forget background write gets.
+		if err := e.store.WriteCheckpoint(seq, db); err != nil && e.logf != nil {
+			e.logf("engine: background checkpoint (seq %d) failed: %v", seq, err)
+		}
 	}()
 }
 

@@ -518,6 +518,11 @@ type DurabilityStats struct {
 	Appends             uint64 `json:"appends"`
 	Replayed            uint64 `json:"replayed"` // batches replayed at boot
 	Checkpoints         uint64 `json:"checkpoints"`
+	ChunksWritten       uint64 `json:"chunksWritten"`       // chunk records appended by checkpoints
+	ChunksReused        uint64 `json:"chunksReused"`        // chunk references reused without rewriting
+	CheckpointBytes     uint64 `json:"checkpointBytes"`     // cumulative checkpoint I/O
+	ChunkStoreBytes     int64  `json:"chunkStoreBytes"`     // current chunk-store file size
+	Compactions         uint64 `json:"compactions"`         // chunk-store GC rewrites
 	LastCheckpointAgeMs int64  `json:"lastCheckpointAgeMs"` // -1 = never (this process)
 	LastCheckpointError string `json:"lastCheckpointError,omitempty"`
 }
@@ -572,6 +577,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Appends:             sst.Appends,
 			Replayed:            sst.Replayed,
 			Checkpoints:         sst.Checkpoints,
+			ChunksWritten:       sst.ChunksWritten,
+			ChunksReused:        sst.ChunksReused,
+			CheckpointBytes:     sst.CheckpointBytes,
+			ChunkStoreBytes:     sst.ChunkStoreBytes,
+			Compactions:         sst.Compactions,
 			LastCheckpointAgeMs: -1,
 			LastCheckpointError: sst.LastCheckpointErr,
 		}

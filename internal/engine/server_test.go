@@ -8,7 +8,9 @@ import (
 	"sync"
 	"testing"
 
+	"gyokit/internal/relation"
 	"gyokit/internal/schema"
+	"gyokit/internal/storage"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *schema.Universe, *Server) {
@@ -182,6 +184,78 @@ func TestServerErrorsAndStats(t *testing.T) {
 	}
 	if len(st.Relations) != 3 || st.Schema == "" {
 		t.Errorf("/stats = %+v", st)
+	}
+}
+
+// TestServerDurabilityStats: a store-backed server surfaces the
+// incremental-checkpoint counters — chunks written vs reused and the
+// bytes each checkpoint actually cost — so an operator can see from
+// /stats alone whether checkpoints are O(dirty) or rewriting the
+// world.
+func TestServerDurabilityStats(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir, storage.Options{NoSync: true, CheckpointBytes: -1})
+	defer st.Close()
+	if _, _, err := e.Apply(storage.Create("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]relation.Tuple, 5000)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{relation.Value(2 * i), relation.Value(2*i + 1)}
+	}
+	if _, _, err := e.Apply(storage.Insert(0, 2, tuples)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	db := e.Snapshot()
+	ts := httptest.NewServer(NewServer(e, db.D.U, db.D).Handler())
+	defer ts.Close()
+	getStats := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	s1 := getStats()
+	if s1.Durability == nil {
+		t.Fatal("/stats missing durability section for store-backed engine")
+	}
+	d1 := s1.Durability
+	if d1.Checkpoints < 1 || d1.ChunksWritten < 1 || d1.CheckpointBytes <= 0 || d1.ChunkStoreBytes <= 0 {
+		t.Errorf("first checkpoint stats = %+v", d1)
+	}
+	if d1.LastCheckpointError != "" {
+		t.Errorf("unexpected checkpoint error: %q", d1.LastCheckpointError)
+	}
+
+	// A small delta checkpoint reuses the durable chunks and reports a
+	// byte cost far below the first full write.
+	if _, _, err := e.Apply(storage.Insert(0, 2, []relation.Tuple{{99991, 99992}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := getStats().Durability
+	if d2.ChunksReused < 1 {
+		t.Errorf("delta checkpoint reused no chunks: %+v", d2)
+	}
+	if d2.ChunksWritten != d1.ChunksWritten {
+		t.Errorf("delta checkpoint rewrote chunks: %d → %d", d1.ChunksWritten, d2.ChunksWritten)
+	}
+	if inc := d2.CheckpointBytes - d1.CheckpointBytes; inc <= 0 || inc >= d1.CheckpointBytes {
+		t.Errorf("delta checkpoint bytes = %d (first = %d)", inc, d1.CheckpointBytes)
 	}
 }
 

@@ -47,6 +47,66 @@ func (r *Relation) ForEachChunk(fn func(block []Value) bool) {
 // proportional).
 func (r *Relation) ArenaBytes() int { return r.n * r.width * ValueBytes }
 
+// FullChunks returns the number of full (immutable, id-bearing) chunks.
+// Rows [0, FullChunks()*ChunkRows) live in full chunks; any remainder
+// lives in the mutable tail.
+func (r *Relation) FullChunks() int { return r.n >> chunkShift }
+
+// Tail returns the row-major data block of the mutable tail chunk, or
+// nil when the relation ends exactly on a chunk boundary (or is empty).
+// The block is a view into the arena; callers must not modify or retain
+// it across mutations.
+func (r *Relation) Tail() []Value {
+	if r.n&chunkMask == 0 {
+		return nil
+	}
+	return r.chunks[len(r.chunks)-1].data
+}
+
+// ForEachFullChunk calls fn with each full chunk's durable id and
+// row-major data block, in row order, until fn returns false. Unlike
+// ForEachChunk it skips the mutable tail, so the blocks always hold
+// exactly ChunkRows rows and the ids are nonzero and stable for the
+// relation's lifetime. Blocks are views into the arena; callers must
+// not modify or retain them.
+func (r *Relation) ForEachFullChunk(fn func(id uint64, block []Value) bool) {
+	for i, full := 0, r.FullChunks(); i < full; i++ {
+		if !fn(r.chunks[i].id, r.chunks[i].data) {
+			return
+		}
+	}
+}
+
+// SetChunkID overwrites the durable id of full chunk i with a persisted
+// id, raising the process-wide counter past it so future chunks cannot
+// collide. Recovery uses it to restore the identities a checkpoint
+// manifest recorded, preserving chunk-store deduplication across
+// restarts; chunk i must be full and id nonzero (programmer errors
+// panic).
+func (r *Relation) SetChunkID(i int, id uint64) {
+	if id == 0 {
+		panic("relation: SetChunkID with zero id")
+	}
+	if i < 0 || i >= r.FullChunks() {
+		panic(fmt.Sprintf("relation: SetChunkID(%d) on relation with %d full chunks", i, r.FullChunks()))
+	}
+	r.chunks[i].id = id
+	ChunkIDFloor(id)
+}
+
+// ChunkIDFloor raises the process-wide chunk-id counter to at least
+// floor. Storage recovery calls it (directly or via SetChunkID) with
+// every persisted id it has seen, so ids assigned after a restart never
+// collide with ids already on disk.
+func ChunkIDFloor(floor uint64) {
+	for {
+		cur := chunkIDs.Load()
+		if cur >= floor || chunkIDs.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
 // grow presizes an empty relation for rows tuples: the owned index
 // table is allocated at its final size (loading never rehashes) and
 // the tail chunk at full chunk capacity.

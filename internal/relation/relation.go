@@ -60,7 +60,24 @@ const (
 type chunk struct {
 	data   []Value
 	hashes []uint64
+	// id is the chunk's durable identity: nonzero exactly when the chunk
+	// is full (and therefore immutable forever), drawn from a
+	// process-wide monotonic counter at the moment the chunk fills.
+	// Clones copy the chunk struct by value, id included, so structurally
+	// shared chunks share one id and two live chunks with the same id
+	// always hold identical rows. The counter is process-wide rather than
+	// per-relation so the id alone can key a durable chunk table — a
+	// relation has no stable identity across Drop, which renumbers the
+	// survivors. The mutable tail chunk never carries an id.
+	id uint64
 }
+
+// chunkIDs is the process-wide chunk-id counter. SetChunkID raises it
+// past every id restored from a checkpoint manifest, so freshly filled
+// chunks can never collide with a restored identity.
+var chunkIDs atomic.Uint64
+
+func nextChunkID() uint64 { return chunkIDs.Add(1) }
 
 // Relation is a relation state over a fixed attribute set.
 //
@@ -161,6 +178,9 @@ func (r *Relation) appendRow(vals []Value, h uint64) {
 	c := &r.chunks[len(r.chunks)-1]
 	c.data = append(c.data, vals...)
 	c.hashes = append(c.hashes, h)
+	if len(c.hashes) == ChunkRows {
+		c.id = nextChunkID()
+	}
 	r.n++
 }
 

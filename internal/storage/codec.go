@@ -155,34 +155,70 @@ func appendRelation(dst []byte, r *relation.Relation) []byte {
 	return dst
 }
 
-// decodeDatabase decodes an appendDatabase payload into a fresh
-// universe. The whole payload must be consumed.
-func decodeDatabase(buf []byte) (*relation.Database, error) {
-	r := &reader{buf: buf}
+// decodeUniverse reads the interned attribute-name table into a fresh
+// universe, returning it with its attribute count. Shared by the full
+// database decoder and the incremental-checkpoint manifest decoder —
+// both formats open with the same name table.
+func decodeUniverse(r *reader) (*schema.Universe, int, error) {
 	nNames, err := r.count("universe names", maxNames)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	u := schema.NewUniverse()
 	for i := 0; i < nNames; i++ {
 		ln, err := r.count("name length", maxNameLen)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		b, err := r.bytes(ln, "name")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		name := string(b)
 		if name == "" {
-			return nil, corruptf("empty attribute name at id %d", i)
+			return nil, 0, corruptf("empty attribute name at id %d", i)
 		}
 		if _, ok := u.Lookup(name); ok {
-			return nil, corruptf("duplicate attribute name %q", name)
+			return nil, 0, corruptf("duplicate attribute name %q", name)
 		}
 		if got := u.Attr(name); int(got) != i {
-			return nil, corruptf("attribute %q interned as %d, want %d", name, got, i)
+			return nil, 0, corruptf("attribute %q interned as %d, want %d", name, got, i)
 		}
+	}
+	return u, nNames, nil
+}
+
+// decodeAttrs reads a relation's attribute-id list: width ids, strictly
+// increasing and below nNames, so the list is guaranteed to be a set
+// matching the sorted arena column order.
+func decodeAttrs(r *reader, nNames int) ([]schema.Attr, error) {
+	width, err := r.count("relation width", nNames)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]schema.Attr, width)
+	prev := -1
+	for i := range ids {
+		a, err := r.uvarint("attribute id")
+		if err != nil {
+			return nil, err
+		}
+		if int(a) >= nNames || int(a) <= prev {
+			return nil, corruptf("attribute id %d (after %d, universe %d)", a, prev, nNames)
+		}
+		prev = int(a)
+		ids[i] = schema.Attr(a)
+	}
+	return ids, nil
+}
+
+// decodeDatabase decodes an appendDatabase payload into a fresh
+// universe. The whole payload must be consumed.
+func decodeDatabase(buf []byte) (*relation.Database, error) {
+	r := &reader{buf: buf}
+	u, nNames, err := decodeUniverse(r)
+	if err != nil {
+		return nil, err
 	}
 	nRels, err := r.count("relations", maxRelations)
 	if err != nil {
@@ -219,25 +255,11 @@ func decodeDatabase(buf []byte) (*relation.Database, error) {
 }
 
 func decodeRelation(r *reader, u *schema.Universe, nNames int) (*relation.Relation, error) {
-	width, err := r.count("relation width", nNames)
+	ids, err := decodeAttrs(r, nNames)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]schema.Attr, width)
-	prev := -1
-	for i := range ids {
-		a, err := r.uvarint("attribute id")
-		if err != nil {
-			return nil, err
-		}
-		// Strictly increasing ids < nNames guarantee the id list is a
-		// set and matches the sorted arena column order.
-		if int(a) >= nNames || int(a) <= prev {
-			return nil, corruptf("attribute id %d (after %d, universe %d)", a, prev, nNames)
-		}
-		prev = int(a)
-		ids[i] = schema.Attr(a)
-	}
+	width := len(ids)
 	rows, err := r.uvarint("row count")
 	if err != nil {
 		return nil, err

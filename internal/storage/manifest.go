@@ -1,0 +1,411 @@
+package storage
+
+// Incremental checkpoint format: an append-only chunk store plus a
+// small per-checkpoint manifest.
+//
+// The chunk store (chunks-<gen>.gyo) is an 8-byte magic header followed
+// by self-describing chunk records, appended and never rewritten:
+//
+//	[u64 chunkID LE] [u32 payloadLen LE] [u32 crc32c(payload) LE] [payload]
+//
+// where payload is one full arena chunk — exactly ChunkRows rows of
+// raw row-major values, so payloadLen is always ChunkRows·width·4.
+// Full chunks are immutable from the moment they fill (see
+// internal/relation), so a chunk id written once identifies the same
+// bytes forever and later checkpoints simply reference it again.
+//
+// The manifest (manifest-<seq>.mf) is framed exactly like a legacy full
+// checkpoint — magic (8) | u32 crc32c(rest) | u64 seq | payload — but
+// with its own magic, and its payload describes the database by
+// reference instead of by value: the chunk-store generation, the
+// universe name table, and per relation the attribute-id list, the
+// cardinality, one (id, offset, length) triple per full chunk, and the
+// raw tail rows inline. A checkpoint therefore writes O(dirty chunks +
+// tails) bytes: chunks already in the store are referenced, not
+// rewritten.
+//
+// Recovery reads the newest valid manifest, then reads every referenced
+// chunk record back out of the chunk store (validating id, length, and
+// CRC per record — a referenced chunk is never trusted unverified) and
+// restores the persisted chunk ids so deduplication survives restarts.
+// Garbage (chunks no manifest references, left by dropped relations,
+// deletes, or torn checkpoints) accumulates in the store file until a
+// checkpoint rewrites the live chunks into a fresh generation; the
+// manifest names its generation, so an old generation is deletable the
+// moment a manifest of a newer generation is durable.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+var (
+	manMagic   = []byte("GYOMAN01")
+	chunkMagic = []byte("GYOCHNK1")
+)
+
+const (
+	chunkStoreHeaderLen = 8
+	chunkRecHeaderLen   = 16 // u64 id + u32 len + u32 crc
+	// maxManifestCard caps a decoded relation cardinality before any
+	// chunk reads are attempted (the per-chunk and tail reads then bound
+	// actual allocation).
+	maxManifestCard = 1 << 40
+)
+
+func manName(seq uint64) string        { return fmt.Sprintf("manifest-%016d.mf", seq) }
+func chunkStoreName(gen uint64) string { return fmt.Sprintf("chunks-%016d.gyo", gen) }
+
+// chunkRef locates one chunk record in the live chunk-store generation:
+// the file offset of its 16-byte record header and its payload length.
+type chunkRef struct {
+	off int64
+	ln  int64
+}
+
+// appendChunkRecord appends one chunk record (header + payload) to dst.
+func appendChunkRecord(dst []byte, id uint64, block []relation.Value) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(block)*relation.ValueBytes))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	payloadAt := len(dst)
+	dst = appendValues(dst, block)
+	putU32(dst[crcAt:], crcOf(dst[payloadAt:]))
+	return dst
+}
+
+// chunkReader reads and verifies chunk records from an open chunk-store
+// file, recycling one record-sized scratch buffer across reads.
+type chunkReader struct {
+	f       *os.File
+	size    int64
+	buf     []byte
+	scratch []relation.Value
+}
+
+// read returns the verified payload of the chunk record for id at ref,
+// decoded into a reused scratch slice (valid until the next read).
+func (c *chunkReader) read(id uint64, ref chunkRef) ([]relation.Value, error) {
+	n := chunkRecHeaderLen + ref.ln
+	if ref.off < chunkStoreHeaderLen || ref.off+n > c.size {
+		return nil, corruptf("chunk %d ref [%d,+%d) outside store of %d bytes", id, ref.off, n, c.size)
+	}
+	if int64(cap(c.buf)) < n {
+		c.buf = make([]byte, n)
+	}
+	b := c.buf[:n]
+	if _, err := c.f.ReadAt(b, ref.off); err != nil {
+		return nil, fmt.Errorf("chunk %d: %w", id, err)
+	}
+	if got := readU64(b); got != id {
+		return nil, corruptf("chunk record id %d, manifest says %d", got, id)
+	}
+	if got := int64(readU32(b[8:])); got != ref.ln {
+		return nil, corruptf("chunk %d record length %d, manifest says %d", id, got, ref.ln)
+	}
+	payload := b[chunkRecHeaderLen:]
+	if crcOf(payload) != readU32(b[12:]) {
+		return nil, corruptf("chunk %d CRC mismatch", id)
+	}
+	nv := len(payload) / relation.ValueBytes
+	if cap(c.scratch) < nv {
+		c.scratch = make([]relation.Value, nv)
+	}
+	vals := c.scratch[:nv]
+	for i := range vals {
+		vals[i] = relation.Value(binary.LittleEndian.Uint32(payload[i*relation.ValueBytes:]))
+	}
+	return vals, nil
+}
+
+// --- manifest encoding ---
+
+// appendManifest encodes the manifest payload for db against chunk
+// store generation gen. refs must locate every full chunk of db (a
+// missing id is a checkpoint-writer bug, reported as an error so a
+// half-planned checkpoint can never be renamed into place).
+func appendManifest(dst []byte, db *relation.Database, gen uint64, refs func(id uint64) (chunkRef, bool)) ([]byte, error) {
+	dst = appendUvarint(dst, gen)
+	u := db.D.U
+	n := u.Size()
+	dst = appendUvarint(dst, uint64(n))
+	for a := 0; a < n; a++ {
+		name := u.Name(schema.Attr(a))
+		dst = appendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+	}
+	dst = appendUvarint(dst, uint64(len(db.Rels)))
+	var err error
+	for _, r := range db.Rels {
+		if dst, err = appendManifestRelation(dst, r, refs); err != nil {
+			return nil, err
+		}
+	}
+	if db.Univ != nil {
+		dst = append(dst, 1)
+		if dst, err = appendManifestRelation(dst, db.Univ, refs); err != nil {
+			return nil, err
+		}
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+func appendManifestRelation(dst []byte, r *relation.Relation, refs func(id uint64) (chunkRef, bool)) ([]byte, error) {
+	cols := r.Cols()
+	dst = appendUvarint(dst, uint64(len(cols)))
+	for _, a := range cols {
+		dst = appendUvarint(dst, uint64(a))
+	}
+	dst = appendUvarint(dst, uint64(r.Card()))
+	var err error
+	r.ForEachFullChunk(func(id uint64, block []relation.Value) bool {
+		ref, ok := refs(id)
+		if !ok {
+			err = fmt.Errorf("storage: chunk %d has no chunk-store offset", id)
+			return false
+		}
+		dst = appendUvarint(dst, id)
+		dst = appendUvarint(dst, uint64(ref.off))
+		dst = appendUvarint(dst, uint64(ref.ln))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return appendValues(dst, r.Tail()), nil
+}
+
+// --- manifest decoding / recovery ---
+
+// manifestState is everything loadManifest recovers: the database, the
+// chunk-store generation with its open file handle and sizes, and the
+// id → offset table that lets the next checkpoint deduplicate against
+// chunks already on disk.
+type manifestState struct {
+	db    *relation.Database
+	gen   uint64
+	f     *os.File // open chunk store, positioned by ReadAt only
+	size  int64    // chunk store file size (append resume point)
+	live  int64    // bytes the manifest references (headers included)
+	table map[uint64]chunkRef
+}
+
+// loadManifest loads manifest-<seq>.mf from dir together with the chunk
+// store generation it names, verifying every referenced chunk record.
+// On success the chunk-store file handle is returned open (the caller
+// owns it); on any error nothing is kept open and the caller should
+// fall back to an older candidate.
+func loadManifest(dir string, seq uint64) (st manifestState, err error) {
+	payload, err := readSnapshotFile(filepath.Join(dir, manName(seq)), manMagic, seq)
+	if err != nil {
+		return manifestState{}, err
+	}
+	r := &reader{buf: payload}
+	gen, err := r.uvarint("chunk-store generation")
+	if err != nil {
+		return manifestState{}, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, chunkStoreName(gen)), os.O_RDWR, 0o644)
+	if err != nil {
+		return manifestState{}, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	fi, err := f.Stat()
+	if err != nil {
+		return manifestState{}, err
+	}
+	cs := &chunkReader{f: f, size: fi.Size()}
+	var hdr [chunkStoreHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil || string(hdr[:]) != string(chunkMagic) {
+		return manifestState{}, corruptf("chunk store %d header", gen)
+	}
+
+	u, nNames, err := decodeUniverse(r)
+	if err != nil {
+		return manifestState{}, err
+	}
+	st = manifestState{gen: gen, f: f, size: cs.size, table: map[uint64]chunkRef{}}
+	st.db = &relation.Database{D: schema.New(u)}
+	nRels, err := r.count("relations", maxRelations)
+	if err != nil {
+		return manifestState{}, err
+	}
+	for i := 0; i < nRels; i++ {
+		rel, err := decodeManifestRelation(r, u, nNames, cs, &st)
+		if err != nil {
+			return manifestState{}, fmt.Errorf("relation %d: %w", i, err)
+		}
+		st.db.D.Add(rel.Attrs())
+		st.db.Rels = append(st.db.Rels, rel)
+	}
+	hasUniv, err := r.bytes(1, "universal-relation flag")
+	if err != nil {
+		return manifestState{}, err
+	}
+	switch hasUniv[0] {
+	case 0:
+	case 1:
+		univ, err := decodeManifestRelation(r, u, nNames, cs, &st)
+		if err != nil {
+			return manifestState{}, fmt.Errorf("universal relation: %w", err)
+		}
+		st.db.Univ = univ
+	default:
+		return manifestState{}, corruptf("universal-relation flag %d", hasUniv[0])
+	}
+	if r.remaining() != 0 {
+		return manifestState{}, corruptf("%d trailing bytes after manifest", r.remaining())
+	}
+	st.live = int64(chunkStoreHeaderLen)
+	for _, ref := range st.table {
+		st.live += chunkRecHeaderLen + ref.ln
+	}
+	return st, nil
+}
+
+// decodeManifestRelation rebuilds one relation from its manifest entry,
+// reading each referenced chunk out of the chunk store and restoring
+// its persisted id, then appending the inline tail rows.
+func decodeManifestRelation(r *reader, u *schema.Universe, nNames int, cs *chunkReader, st *manifestState) (*relation.Relation, error) {
+	ids, err := decodeAttrs(r, nNames)
+	if err != nil {
+		return nil, err
+	}
+	width := len(ids)
+	card, err := r.uvarint("cardinality")
+	if err != nil {
+		return nil, err
+	}
+	if card > maxManifestCard || (width == 0 && card > 1) {
+		return nil, corruptf("cardinality %d (width %d)", card, width)
+	}
+	full := int(card) / relation.ChunkRows
+	if full > r.remaining()/3 { // each ref is ≥ 3 bytes; cheap pre-allocation bound
+		return nil, corruptf("%d chunk refs exceed remaining %d bytes", full, r.remaining())
+	}
+	wantLn := int64(relation.ChunkRows * width * relation.ValueBytes)
+	type idRef struct {
+		id  uint64
+		ref chunkRef
+	}
+	refs := make([]idRef, full)
+	for i := range refs {
+		id, err := r.uvarint("chunk id")
+		if err != nil {
+			return nil, err
+		}
+		off, err := r.uvarint("chunk offset")
+		if err != nil {
+			return nil, err
+		}
+		ln, err := r.uvarint("chunk length")
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 || int64(ln) != wantLn {
+			return nil, corruptf("chunk ref id=%d len=%d (want len %d)", id, ln, wantLn)
+		}
+		refs[i] = idRef{id: id, ref: chunkRef{off: int64(off), ln: int64(ln)}}
+	}
+	tailRows := int(card) - full*relation.ChunkRows
+	tail, err := r.values(tailRows*width, "tail rows")
+	if err != nil {
+		return nil, err
+	}
+	if width == 0 {
+		rel, err := relation.FromArena(u, schema.NewAttrSet(ids...), int(card), nil)
+		if err != nil {
+			return nil, corruptf("%v", err)
+		}
+		return rel, nil
+	}
+	rel := relation.NewSized(u, schema.NewAttrSet(ids...), int(card))
+	for _, ir := range refs {
+		block, err := cs.read(ir.id, ir.ref)
+		if err != nil {
+			return nil, err
+		}
+		rel.InsertBlock(block)
+	}
+	if tailRows > 0 {
+		rel.InsertBlock(tail)
+	}
+	// Set semantics silently drop duplicate rows, so a short count here
+	// means the manifest or a chunk is lying about its contents — and a
+	// full count proves every chunk boundary landed exactly where the
+	// manifest said, making the id restoration below well-defined.
+	if rel.Card() != int(card) {
+		return nil, corruptf("rebuilt %d rows, manifest says %d (duplicate rows across chunks)", rel.Card(), card)
+	}
+	for i, ir := range refs {
+		rel.SetChunkID(i, ir.id)
+		st.table[ir.id] = ir.ref
+	}
+	return rel, nil
+}
+
+// --- framed snapshot file I/O (shared by legacy checkpoints and manifests) ---
+//
+// Layout: magic (8) | u32 crc32c(rest) | u64 seq | payload.
+
+func writeSnapshotFile(path string, magic []byte, seq uint64, payload []byte, sync bool) error {
+	// Header + payload are written separately and the CRC is streamed
+	// over both parts, so a potentially huge payload is never copied
+	// into a second buffer.
+	var hdr [20]byte // magic(8) | crc(4) | seq(8)
+	copy(hdr[:8], magic)
+	putU64(hdr[12:], seq)
+	crc := crc32Update(0, hdr[12:])
+	crc = crc32Update(crc, payload)
+	putU32(hdr[8:], crc)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func readSnapshotFile(path string, magic []byte, wantSeq uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+4+8 || string(data[:len(magic)]) != string(magic) {
+		return nil, corruptf("snapshot header")
+	}
+	crc := readU32(data[len(magic):])
+	rest := data[len(magic)+4:]
+	if crcOf(rest) != crc {
+		return nil, corruptf("snapshot CRC mismatch")
+	}
+	if seq := readU64(rest); seq != wantSeq {
+		return nil, corruptf("snapshot sequence %d ≠ filename %d", seq, wantSeq)
+	}
+	return rest[8:], nil
+}

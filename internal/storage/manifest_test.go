@@ -1,0 +1,729 @@
+package storage
+
+// Tests for the incremental checkpoint format: chunk dedup across
+// checkpoints and restarts, compaction, crash recovery with torn
+// manifests and torn chunk stores (mirroring TestWALTornTail), legacy
+// full-checkpoint compatibility, checkpoint-error hygiene, and the
+// O(batch)-vs-O(card) I/O bound the format exists for.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gyokit/internal/relation"
+)
+
+// raceEnabled is set by race_test.go under `go test -race`; the torn
+// chunk-store sweep strides its (byte-granular) offsets then, since
+// every iteration is a full recovery.
+var raceEnabled bool
+
+// insertN returns one insert batch of n distinct width-2 rows starting
+// at value base.
+func insertN(rel, base, n int) []Mutation {
+	vals := make([]relation.Value, 0, 2*n)
+	for i := 0; i < n; i++ {
+		v := relation.Value(base + i)
+		vals = append(vals, v, v+1<<24)
+	}
+	return []Mutation{{Kind: KindInsert, Rel: rel, Width: 2, Values: vals}}
+}
+
+// deleteN deletes the rows insertN(rel, base, n) inserted.
+func deleteN(rel, base, n int) []Mutation {
+	vals := make([]relation.Value, 0, 2*n)
+	for i := 0; i < n; i++ {
+		v := relation.Value(base + i)
+		vals = append(vals, v, v+1<<24)
+	}
+	return []Mutation{{Kind: KindDelete, Rel: rel, Width: 2, Values: vals}}
+}
+
+// insertN1 is insertN for a width-1 relation (smallest chunk records,
+// which keeps byte-granular torn-file sweeps affordable).
+func insertN1(rel, base, n int) []Mutation {
+	vals := make([]relation.Value, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, relation.Value(base+i))
+	}
+	return []Mutation{{Kind: KindInsert, Rel: rel, Width: 1, Values: vals}}
+}
+
+// stepper returns a helper that applies a batch copy-on-write to the
+// store's lineage database and appends it to the WAL — the same
+// discipline as the engine, which is what makes chunk ids stable
+// across checkpoints.
+func stepper(t testing.TB, s *Store, db **relation.Database) func(muts ...Mutation) {
+	return func(muts ...Mutation) {
+		t.Helper()
+		nd, _, err := ApplyAll(*db, muts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(muts); err != nil {
+			t.Fatal(err)
+		}
+		*db = nd
+	}
+}
+
+// dirFiles reads every regular file in dir into memory.
+func dirFiles(t testing.TB, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return files
+}
+
+// writeDir materializes files into a fresh temp directory.
+func writeDir(t testing.TB, files map[string][]byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func cloneFiles(files map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(files))
+	for k, v := range files {
+		out[k] = v
+	}
+	return out
+}
+
+// TestIncrementalCheckpointRoundTrip is the core dedup property: a
+// second checkpoint rewrites only chunks that filled since the first,
+// recovery restores persisted chunk ids, and a post-restart checkpoint
+// therefore writes no chunk at all when only the tail changed.
+func TestIncrementalCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a", "b"))
+	step(insertN(0, 0, relation.ChunkRows+1000)...) // 1 full chunk + 1000-row tail
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st1 := s.Stats()
+	if st1.ChunksWritten != 1 || st1.ChunksReused != 0 {
+		t.Fatalf("first checkpoint wrote %d / reused %d chunks, want 1 / 0", st1.ChunksWritten, st1.ChunksReused)
+	}
+
+	step(insertN(0, 10*relation.ChunkRows, relation.ChunkRows)...) // fills chunk 2
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s.Stats()
+	if st2.ChunksWritten != 2 || st2.ChunksReused != 1 {
+		t.Errorf("second checkpoint totals: wrote %d / reused %d, want 2 / 1", st2.ChunksWritten, st2.ChunksReused)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Replayed; got != 0 {
+		t.Errorf("replayed %d batches after checkpoint, want 0", got)
+	}
+	if !dbEqual(db, s2.State()) {
+		t.Fatal("recovered state differs from checkpointed lineage")
+	}
+
+	// Chunk ids survived the restart: a tail-only change checkpoints
+	// with zero chunk writes and full reuse.
+	db2 := s2.State()
+	step2 := stepper(t, s2, &db2)
+	step2(insertN(0, 20*relation.ChunkRows, 10)...)
+	if err := s2.Checkpoint(db2); err != nil {
+		t.Fatal(err)
+	}
+	st3 := s2.Stats()
+	if st3.ChunksWritten != 0 || st3.ChunksReused != 2 {
+		t.Errorf("post-restart checkpoint wrote %d / reused %d chunks, want 0 / 2", st3.ChunksWritten, st3.ChunksReused)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !dbEqual(db2, s3.State()) {
+		t.Error("state after restart + incremental checkpoint differs")
+	}
+}
+
+// TestManifestUniversalRelation routes a database with a materialized
+// universal relation (larger than one chunk) through the manifest
+// format and back.
+func TestManifestUniversalRelation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(t, "ab, bc, cd", 5000, 64, 3)
+	if db.Univ == nil || db.Univ.Card() <= relation.ChunkRows {
+		t.Fatalf("test universal relation too small (%v) to exercise chunk refs", db.Univ)
+	}
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !dbEqual(db, got) {
+		t.Fatal("recovered relations differ")
+	}
+	if got.Univ == nil || got.Univ.Card() != db.Univ.Card() {
+		t.Fatalf("recovered universal relation = %v, want card %d", got.Univ, db.Univ.Card())
+	}
+	for j := 0; j < db.Univ.Card(); j++ {
+		if !got.Univ.Has(db.Univ.TupleAt(j)) {
+			t.Fatalf("recovered universal relation lost tuple %d", j)
+		}
+	}
+}
+
+// TestChunkStoreCompaction: once deletes have orphaned most of the
+// chunk store, a checkpoint rewrites just the live chunks into a fresh
+// generation and deletes the old file.
+func TestChunkStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a", "b"))
+	step(insertN(0, 0, 3*relation.ChunkRows)...)
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st1 := s.Stats()
+	if st1.ChunksWritten != 3 || st1.Compactions != 0 {
+		t.Fatalf("seed checkpoint: wrote %d chunks, %d compactions", st1.ChunksWritten, st1.Compactions)
+	}
+
+	// Delete two chunks' worth from the front: the arena repacks into
+	// one fresh-id chunk and every on-disk chunk becomes garbage.
+	step(deleteN(0, 0, 2*relation.ChunkRows)...)
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s.Stats()
+	if st2.Compactions != 1 {
+		t.Errorf("compactions = %d, want 1", st2.Compactions)
+	}
+	wantSize := int64(chunkStoreHeaderLen + chunkRecHeaderLen + relation.ChunkRows*2*relation.ValueBytes)
+	if st2.ChunkStoreBytes != wantSize {
+		t.Errorf("chunk store = %d bytes after compaction, want %d", st2.ChunkStoreBytes, wantSize)
+	}
+	_, _, chunks := listStoreFiles(t, dir)
+	if len(chunks) != 1 || chunks[0] != chunkStoreName(2) {
+		t.Errorf("chunk files after compaction = %v, want only generation 2", chunks)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !dbEqual(db, s2.State()) {
+		t.Error("recovered state differs after compaction")
+	}
+	// The compacted generation's chunk is reusable after restart.
+	db2 := s2.State()
+	step2 := stepper(t, s2, &db2)
+	step2(insertN(0, 100*relation.ChunkRows, 5)...)
+	if err := s2.Checkpoint(db2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.ChunksWritten != 0 || st.ChunksReused != 1 {
+		t.Errorf("post-compaction checkpoint wrote %d / reused %d, want 0 / 1", st.ChunksWritten, st.ChunksReused)
+	}
+}
+
+// TestTornManifest truncates the newest manifest at every byte offset,
+// composing the directory a crash mid-checkpoint-publish would leave:
+// the previous manifest, the WAL tail covering the delta, and the
+// (unchanged) chunk store. Recovery must always land on the exact
+// acknowledged state — via the new manifest when it is whole, via
+// previous-manifest + WAL replay otherwise — and never an error or an
+// empty store.
+func TestTornManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a", "b"))
+	step(insertN(0, 0, relation.ChunkRows+8)...)
+	if err := s.Checkpoint(db); err != nil { // C1: manifest-2 + chunk store
+		t.Fatal(err)
+	}
+	chunkPath := filepath.Join(dir, chunkStoreName(1))
+	preChunk, err := os.Stat(chunkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step(insertN(0, relation.ChunkRows+8, 16)...) // tail-only delta, one WAL batch
+	preFiles := dirFiles(t, dir)                  // crash-state parts: manifest-2, wal-2, chunks-1
+	if err := s.Checkpoint(db); err != nil {      // C2: manifest-3, no new chunks
+		t.Fatal(err)
+	}
+	postChunk, err := os.Stat(chunkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postChunk.Size() != preChunk.Size() {
+		t.Fatalf("tail-only checkpoint grew the chunk store %d → %d bytes", preChunk.Size(), postChunk.Size())
+	}
+	man3Name := manName(3)
+	man3, err := os.ReadFile(filepath.Join(dir, man3Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for m := 0; m <= len(man3); m++ {
+		files := cloneFiles(preFiles)
+		files[man3Name] = man3[:m]
+		cut := writeDir(t, files)
+		rec, err := Open(cut, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("manifest cut at %d: recovery failed: %v", m, err)
+		}
+		wantReplay := uint64(1) // fallback: previous manifest + the delta batch
+		if m == len(man3) {
+			wantReplay = 0 // whole manifest wins
+		}
+		if got := rec.Stats().Replayed; got != wantReplay {
+			t.Fatalf("manifest cut at %d: replayed %d, want %d", m, got, wantReplay)
+		}
+		if !dbEqual(db, rec.State()) {
+			t.Fatalf("manifest cut at %d: recovered state differs", m)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if m == len(man3) {
+			// The whole-manifest case must also have tidied the leftovers
+			// of the interrupted cleanup: old manifest and covered WAL.
+			segs, snaps, chunks := listStoreFiles(t, cut)
+			if len(segs) != 1 || len(snaps) != 1 || snaps[0] != man3Name || len(chunks) != 1 {
+				t.Fatalf("post-recovery files = %v %v %v", segs, snaps, chunks)
+			}
+		}
+	}
+}
+
+// TestTornChunkStore truncates the chunk store at every byte offset of
+// the region a checkpoint appended (and, coarsely, flips bytes in it),
+// with and without the manifest that references it. Whenever the new
+// manifest cannot be fully verified against the store, recovery must
+// fall back to the previous manifest + WAL replay and reproduce the
+// acknowledged state exactly.
+func TestTornChunkStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width-1 relation: the smallest possible chunk record (16 KiB
+	// payload) keeps the byte-granular sweep affordable. C1's manifest
+	// references no chunks at all (card < ChunkRows), so the fallback
+	// path per iteration is cheap.
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a"))
+	step(insertN1(0, 0, 10)...)
+	if err := s.Checkpoint(db); err != nil { // C1: manifest-2, empty chunk store
+		t.Fatal(err)
+	}
+	step(insertN1(0, 10, relation.ChunkRows)...) // fills chunk 1; one WAL batch
+	preFiles := dirFiles(t, dir)
+	if err := s.Checkpoint(db); err != nil { // C2: appends one chunk record + manifest-3
+		t.Fatal(err)
+	}
+	chunkName := chunkStoreName(1)
+	postChunk, err := os.ReadFile(filepath.Join(dir, chunkName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man3Name := manName(3)
+	man3, err := os.ReadFile(filepath.Join(dir, man3Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pre := len(preFiles[chunkName])
+	post := len(postChunk)
+	if pre != chunkStoreHeaderLen || post != pre+chunkRecHeaderLen+relation.ChunkRows*relation.ValueBytes {
+		t.Fatalf("unexpected chunk store sizes: pre %d, post %d", pre, post)
+	}
+
+	check := func(files map[string][]byte, wantReplay uint64, desc string) {
+		t.Helper()
+		cut := writeDir(t, files)
+		rec, err := Open(cut, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("%s: recovery failed: %v", desc, err)
+		}
+		if got := rec.Stats().Replayed; got != wantReplay {
+			t.Fatalf("%s: replayed %d, want %d", desc, got, wantReplay)
+		}
+		if !dbEqual(db, rec.State()) {
+			t.Fatalf("%s: recovered state differs", desc)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Manifest present and whole, chunk record torn at every byte: the
+	// manifest's reference can't be verified, so the previous manifest +
+	// WAL replay must win — at every single offset. The sweep reuses one
+	// directory, rewriting only the two files it varies: fallback
+	// recovery leaves the other files exactly as they were (it deletes
+	// the invalid manifest, which the next iteration rewrites anyway).
+	stride := 1
+	if raceEnabled {
+		stride = 7 // every recovery is far slower under the race detector
+	}
+	sweep := writeDir(t, preFiles)
+	for n := pre; n < post; n += stride {
+		if err := os.WriteFile(filepath.Join(sweep, chunkName), postChunk[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sweep, man3Name), man3, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(sweep, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("chunk cut at %d: recovery failed: %v", n, err)
+		}
+		if got := rec.Stats().Replayed; got != 1 {
+			t.Fatalf("chunk cut at %d: replayed %d, want 1", n, got)
+		}
+		if !dbEqual(db, rec.State()) {
+			t.Fatalf("chunk cut at %d: recovered state differs", n)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Complete chunk record + complete manifest: the incremental
+	// checkpoint is live, nothing replays.
+	{
+		files := cloneFiles(preFiles)
+		files[chunkName] = postChunk
+		files[man3Name] = man3
+		check(files, 0, "complete checkpoint")
+	}
+	// Crash before the manifest rename: torn chunk tail with no
+	// manifest referencing it is simply ignored (sampled offsets — the
+	// torn region is never read).
+	for _, n := range []int{pre, pre + 1, pre + chunkRecHeaderLen, (pre + post) / 2, post - 1, post} {
+		files := cloneFiles(preFiles)
+		files[chunkName] = postChunk[:n]
+		check(files, 1, "unreferenced chunk tail at "+strconv.Itoa(n))
+	}
+	// Bit rot instead of tearing: flip one byte in the record header
+	// (id, length, CRC fields) and payload — the per-record validation
+	// must reject it and recovery must fall back.
+	for _, p := range []int{pre, pre + 7, pre + 8, pre + 12, pre + chunkRecHeaderLen, (pre + post) / 2, post - 1} {
+		flipped := append([]byte(nil), postChunk...)
+		flipped[p] ^= 0x40
+		files := cloneFiles(preFiles)
+		files[chunkName] = flipped
+		files[man3Name] = man3
+		check(files, 1, "chunk byte flipped at "+strconv.Itoa(p))
+	}
+}
+
+// TestLegacyCheckpointFixture: a pre-manifest store directory (full
+// checkpoint file committed under testdata/) still opens, decodes to
+// the exact database, re-encodes byte-identically, and upgrades to the
+// manifest format on its next checkpoint.
+//
+// Regenerate the fixture with GYOKIT_REWRITE_FIXTURES=1 (only needed
+// if the legacy codec itself legitimately changes, which it should
+// not: it is a compatibility surface).
+func TestLegacyCheckpointFixture(t *testing.T) {
+	fixture := filepath.Join("testdata", ckptName(1))
+	want := testDB(t, "ab, bc, cd", 64, 16, 42)
+	if os.Getenv("GYOKIT_REWRITE_FIXTURES") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeCheckpointFile(fixture, 1, appendDatabase(nil, want), true); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("fixture rewritten")
+	}
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ckptName(1)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("opening legacy store: %v", err)
+	}
+	if got := s.Stats().Replayed; got != 0 {
+		t.Errorf("replayed %d batches from a checkpoint-only directory", got)
+	}
+	if !dbEqual(want, s.State()) {
+		t.Fatal("legacy checkpoint decoded to a different database")
+	}
+	if reenc := appendDatabase(nil, s.State()); !bytes.Equal(reenc, raw[20:]) {
+		t.Fatal("legacy checkpoint did not load byte-identically (re-encode differs)")
+	}
+
+	// The next checkpoint upgrades the directory in place: manifest +
+	// chunk store replace the legacy file.
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("x", "y"))
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, chunks := listStoreFiles(t, dir)
+	if len(snaps) != 1 || !strings.HasSuffix(snaps[0], ".mf") || len(chunks) != 1 {
+		t.Fatalf("files after upgrade checkpoint: snaps %v, chunks %v", snaps, chunks)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !dbEqual(db, s2.State()) {
+		t.Error("state differs after legacy → manifest upgrade")
+	}
+}
+
+// TestCheckpointFailureRecordedAndCleared: a failed checkpoint lands in
+// Stats.LastCheckpointErr, leaves the store fully recoverable, and the
+// next successful checkpoint clears the field.
+func TestCheckpointFailureRecordedAndCleared(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a", "b"))
+	step(insertN(0, 0, 100)...)
+
+	// A directory squatting on the chunk-store path makes the first
+	// checkpoint fail deterministically.
+	obstacle := filepath.Join(dir, chunkStoreName(1))
+	if err := os.Mkdir(obstacle, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(db); err == nil {
+		t.Fatal("checkpoint succeeded despite blocked chunk store")
+	}
+	st := s.Stats()
+	if st.LastCheckpointErr == "" {
+		t.Error("failed checkpoint not recorded in LastCheckpointErr")
+	}
+	if st.Checkpoints != 0 {
+		t.Errorf("failed checkpoint counted: %d", st.Checkpoints)
+	}
+
+	if err := os.Remove(obstacle); err != nil {
+		t.Fatal(err)
+	}
+	step(insertN(0, 1000, 10)...)
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatalf("checkpoint after clearing obstacle: %v", err)
+	}
+	st = s.Stats()
+	if st.LastCheckpointErr != "" {
+		t.Errorf("successful checkpoint did not clear LastCheckpointErr: %q", st.LastCheckpointErr)
+	}
+	if st.Checkpoints != 1 {
+		t.Errorf("checkpoints = %d, want 1", st.Checkpoints)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !dbEqual(db, s2.State()) {
+		t.Error("recovered state differs after failed-then-successful checkpoint")
+	}
+}
+
+// millionRowSeed appends a 2^20-row width-2 relation through the store
+// and returns the lineage database, un-checkpointed.
+func millionRowSeed(t testing.TB, s *Store) *relation.Database {
+	t.Helper()
+	db := s.State()
+	step := stepper(t, s, &db)
+	step(Create("a", "b"))
+	step(insertN(0, 0, 1<<20)...)
+	return db
+}
+
+// TestCheckpointIORatio pins the acceptance bound: checkpointing a
+// 128-tuple batch into a 2^20-row relation must write at least 50×
+// fewer bytes than a full snapshot rewrite (in practice ~2000×: a
+// manifest of chunk references plus the 128-row tail).
+func TestCheckpointIORatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 2^20-row relation")
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	db := millionRowSeed(t, s)
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st1 := s.Stats()
+	fullBytes := int64(len(appendDatabase(nil, db)) + 20)
+
+	step := stepper(t, s, &db)
+	step(insertN(0, 1<<20, 128)...)
+	if err := s.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s.Stats()
+	incBytes := int64(st2.CheckpointBytes - st1.CheckpointBytes)
+	if incBytes <= 0 || incBytes*50 > fullBytes {
+		t.Errorf("incremental checkpoint wrote %d bytes; full snapshot is %d (ratio %.0f×, want ≥ 50×)",
+			incBytes, fullBytes, float64(fullBytes)/float64(incBytes))
+	}
+	// 2^20 is chunk-aligned and the 128 new rows are all tail: the
+	// incremental checkpoint rewrites no chunk at all.
+	if w := st2.ChunksWritten - st1.ChunksWritten; w != 0 {
+		t.Errorf("tail-only checkpoint wrote %d chunks", w)
+	}
+	if r := st2.ChunksReused - st1.ChunksReused; r != 1<<20/relation.ChunkRows {
+		t.Errorf("reused %d chunks, want %d", r, 1<<20/relation.ChunkRows)
+	}
+}
+
+// BenchmarkCheckpointIncremental: steady-state incremental checkpoint
+// of a 128-tuple batch landing in a 2^20-row relation. The ckptB/op
+// metric is the actual checkpoint I/O per operation — compare with
+// BenchmarkCheckpointFull, which rewrites the whole snapshot the way
+// checkpoints did before the chunk store existed.
+func BenchmarkCheckpointIncremental(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	db := millionRowSeed(b, s)
+	if err := s.Checkpoint(db); err != nil {
+		b.Fatal(err)
+	}
+	base := s.Stats().CheckpointBytes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := insertN(0, 1<<20+i*128, 128)
+		nd, _, err := ApplyAll(db, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db = nd
+		if err := s.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Checkpoint(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Stats().CheckpointBytes-base)/float64(b.N), "ckptB/op")
+}
+
+// BenchmarkCheckpointFull is the pre-incremental baseline: serialize
+// and rewrite the entire database per checkpoint, O(card) I/O.
+func BenchmarkCheckpointFull(b *testing.B) {
+	batches := [][]Mutation{{Create("a", "b")}, insertN(0, 0, 1<<20)}
+	db := applyBatches(b, batches)
+	path := filepath.Join(b.TempDir(), ckptName(2))
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := insertN(0, 1<<20+i*128, 128)
+		nd, _, err := ApplyAll(db, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db = nd
+		payload := appendDatabase(nil, db)
+		if err := writeCheckpointFile(path, 2, payload, false); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(payload)) + 20
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/float64(b.N), "ckptB/op")
+}

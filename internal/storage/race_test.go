@@ -1,0 +1,7 @@
+//go:build race
+
+package storage
+
+// Trims the byte-granular torn-file sweeps under the race detector,
+// where each recovery iteration is orders of magnitude slower.
+func init() { raceEnabled = true }

@@ -3,16 +3,22 @@
 // database representation, giving the serving engine crash recovery
 // with an acknowledged-writes-are-durable contract.
 //
-// A store directory holds numbered WAL segments (wal-<seq>.log) and at
-// most one live checkpoint (checkpoint-<seq>.ckpt). The checkpoint
-// with sequence number S is a full database snapshot covering exactly
-// the mutations recorded in segments < S, so recovery is: load the
-// newest valid checkpoint, replay every segment ≥ S in order, tolerate
-// a torn final record (the in-flight write of a crash), and resume
-// appending at the recovered tail. Checkpoints are written atomically
-// (temp file + rename) in the background off a frozen snapshot, then
-// obsolete segments are truncated away — readers and writers never
-// block on checkpointing.
+// A store directory holds numbered WAL segments (wal-<seq>.log), an
+// append-only chunk store (chunks-<gen>.gyo), and at most one live
+// checkpoint manifest (manifest-<seq>.mf; legacy full checkpoints,
+// checkpoint-<seq>.ckpt, are still read). The manifest with sequence
+// number S describes a database snapshot covering exactly the
+// mutations recorded in segments < S: full arena chunks by reference
+// into the chunk store, mutable tails by value (see manifest.go).
+// Writing a checkpoint appends only chunks not yet durable and then
+// renames a fresh manifest into place — O(dirty chunks + tails)
+// instead of O(cardinality) — so recovery is: load the newest valid
+// manifest (or legacy checkpoint), replay every segment ≥ S in order,
+// tolerate a torn final record (the in-flight write of a crash), and
+// resume appending at the recovered tail. Checkpoints are written
+// atomically in the background off a frozen snapshot, then obsolete
+// segments are truncated away — readers and writers never block on
+// checkpointing.
 //
 // The write path is Append: one framed, CRC-checked record per
 // mutation batch, fsynced before it returns (unless Options.NoSync),
@@ -22,7 +28,6 @@ package storage
 
 import (
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,8 +40,13 @@ import (
 
 // Default tuning knobs.
 const (
-	DefaultSegmentBytes    = 4 << 20  // WAL segment rotation threshold
-	DefaultCheckpointBytes = 16 << 20 // live-WAL size that suggests a checkpoint
+	DefaultSegmentBytes = 4 << 20 // WAL segment rotation threshold
+	// DefaultCheckpointBytes is the live-WAL size that suggests a
+	// checkpoint. Incremental checkpoints cost O(dirty), not O(card),
+	// so the default fires 4× more eagerly than the old full-snapshot
+	// threshold of 16 MiB — recovery replays less WAL for near-free.
+	DefaultCheckpointBytes = 4 << 20
+	DefaultCompactBytes    = 4 << 20 // chunk-store size floor before GC compaction
 )
 
 // Options configures a Store.
@@ -48,6 +58,12 @@ type Options struct {
 	// reports true. Zero means DefaultCheckpointBytes; negative
 	// disables the suggestion (checkpoints still work when requested).
 	CheckpointBytes int64
+	// CompactBytes is the chunk-store size past which a checkpoint may
+	// garbage-collect by rewriting only the live chunks into a fresh
+	// generation (it also requires the file to be more than half
+	// garbage). Zero means DefaultCompactBytes; negative disables
+	// compaction.
+	CompactBytes int64
 	// NoSync skips fsync on append and rotation. Crash durability is
 	// lost (a power failure may drop acknowledged writes); useful for
 	// tests and benchmarks where the page cache is good enough.
@@ -68,6 +84,13 @@ func (o Options) checkpointBytes() int64 {
 	return o.CheckpointBytes
 }
 
+func (o Options) compactBytes() int64 {
+	if o.CompactBytes == 0 {
+		return DefaultCompactBytes
+	}
+	return o.CompactBytes
+}
+
 // Stats is a point-in-time snapshot of durability counters.
 type Stats struct {
 	WALBytes          int64     // bytes across live segments (headers included)
@@ -75,6 +98,11 @@ type Stats struct {
 	Appends           uint64    // batches appended since open
 	Replayed          uint64    // batches replayed during recovery
 	Checkpoints       uint64    // checkpoints written since open
+	ChunksWritten     uint64    // chunk records appended to the chunk store since open
+	ChunksReused      uint64    // chunk references satisfied without rewriting since open
+	CheckpointBytes   uint64    // cumulative bytes written by checkpoints since open
+	ChunkStoreBytes   int64     // current chunk-store file size (0 before the first incremental checkpoint)
+	Compactions       uint64    // chunk-store GC rewrites since open
 	LastCheckpoint    time.Time // zero if never (this process)
 	LastCheckpointErr string    // last background checkpoint failure, if any
 }
@@ -96,11 +124,26 @@ type Store struct {
 	failed   error    // set when a write error left the WAL unappendable
 	lockf    *os.File // exclusive directory lock (nil on non-unix)
 
-	appends     uint64
-	replayed    uint64
-	checkpoints uint64
-	lastCkpt    time.Time
-	lastCkptErr string
+	appends       uint64
+	replayed      uint64
+	checkpoints   uint64
+	chunksWritten uint64
+	chunksReused  uint64
+	ckptBytes     uint64
+	chunkBytes    int64 // mirror of chunkSize for Stats (mu, not ckptFileMu)
+	compactions   uint64
+	lastCkpt      time.Time
+	lastCkptErr   string
+
+	// Incremental-checkpoint state, owned by ckptFileMu (not mu):
+	// WriteCheckpoint bodies are serialized on it, and it is always
+	// acquired before mu when both are needed.
+	ckptFileMu sync.Mutex
+	chunkf     *os.File // live chunk-store generation; nil until first incremental checkpoint (or after a write error poisoned it)
+	chunkGen   uint64
+	chunkSize  int64 // current chunk-store size = append offset
+	chunkLive  int64 // bytes referenced by the newest manifest
+	chunkTable map[uint64]chunkRef
 
 	db    *relation.Database // recovered state; nil after Detach
 	empty bool               // no checkpoint and no WAL records found
@@ -149,31 +192,66 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	var segSeqs, ckptSeqs []uint64
+	var segSeqs []uint64
+	// Snapshot candidates: incremental manifests and legacy full
+	// checkpoints, tried newest-first (a manifest outranks a legacy
+	// checkpoint at the same sequence — it is the newer format).
+	type snapCand struct {
+		seq    uint64
+		legacy bool
+	}
+	var cands []snapCand
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
 			segSeqs = append(segSeqs, seq)
 		}
 		if seq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok {
-			ckptSeqs = append(ckptSeqs, seq)
+			cands = append(cands, snapCand{seq: seq, legacy: true})
+		}
+		if seq, ok := parseSeq(e.Name(), "manifest-", ".mf"); ok {
+			cands = append(cands, snapCand{seq: seq})
 		}
 	}
 	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
-	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] > ckptSeqs[j] }) // newest first
+	sort.Slice(cands, func(i, j int) bool { // newest first
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq > cands[j].seq
+		}
+		return !cands[i].legacy && cands[j].legacy
+	})
 
 	s := &Store{dir: dir, opt: opt, segSizes: map[uint64]int64{}}
+	defer func() {
+		if !opened && s.chunkf != nil {
+			s.chunkf.Close()
+		}
+	}()
 
-	// 1. Newest valid checkpoint.
+	// 1. Newest valid snapshot (manifest + chunk store, or legacy full
+	// checkpoint).
 	var db *relation.Database
 	startSeq := uint64(1)
 	ckptLoaded := false
-	var chosenCkpt uint64
-	for _, seq := range ckptSeqs {
-		loaded, err := readCheckpoint(filepath.Join(dir, ckptName(seq)), seq)
-		if err != nil {
-			continue // corrupt or unreadable: try an older one
+	var chosen snapCand
+	for _, c := range cands {
+		if c.legacy {
+			loaded, err := readCheckpoint(filepath.Join(dir, ckptName(c.seq)), c.seq)
+			if err != nil {
+				continue // corrupt or unreadable: try an older one
+			}
+			db = loaded
+		} else {
+			st, err := loadManifest(dir, c.seq)
+			if err != nil {
+				continue
+			}
+			db = st.db
+			s.chunkf, s.chunkGen = st.f, st.gen
+			s.chunkSize, s.chunkLive = st.size, st.live
+			s.chunkBytes = st.size
+			s.chunkTable = st.table
 		}
-		db, startSeq, ckptLoaded, chosenCkpt = loaded, seq, true, seq
+		startSeq, ckptLoaded, chosen = c.seq, true, c
 		break
 	}
 	if !ckptLoaded {
@@ -185,7 +263,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		if len(segSeqs) > 0 && segSeqs[0] != 1 {
 			return nil, fmt.Errorf("%w: no valid checkpoint and WAL starts at segment %d", ErrCorrupt, segSeqs[0])
 		}
-		if len(segSeqs) == 0 && len(ckptSeqs) > 0 {
+		if len(segSeqs) == 0 && len(cands) > 0 {
 			return nil, fmt.Errorf("%w: checkpoint files present but none valid and no WAL to replay", ErrCorrupt)
 		}
 		db = &relation.Database{D: schema.New(schema.NewUniverse())}
@@ -291,23 +369,38 @@ func Open(dir string, opt Options) (*Store, error) {
 		s.walBytes += sz
 	}
 
-	// 4. Tidy up: segments older than the checkpoint and checkpoint
-	// files other than the chosen one are dead weight (a crash between
+	// 4. Tidy up: segments older than the checkpoint, snapshot files
+	// other than the chosen one, and chunk-store generations the chosen
+	// manifest does not reference are dead weight (a crash between
 	// checkpointing and cleanup leaves them behind).
 	for _, seq := range segSeqs {
 		if seq < startSeq {
 			os.Remove(filepath.Join(dir, segName(seq)))
 		}
 	}
-	for _, seq := range ckptSeqs {
-		if !ckptLoaded || seq != chosenCkpt {
-			os.Remove(filepath.Join(dir, ckptName(seq)))
+	for _, c := range cands {
+		if ckptLoaded && c == chosen {
+			continue
+		}
+		if c.legacy {
+			os.Remove(filepath.Join(dir, ckptName(c.seq)))
+		} else {
+			os.Remove(filepath.Join(dir, manName(c.seq)))
 		}
 	}
-	// Orphaned checkpoint temp files (crash between write and rename)
+	for _, e := range entries {
+		if gen, ok := parseSeq(e.Name(), "chunks-", ".gyo"); ok {
+			if s.chunkf == nil || gen != s.chunkGen {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	// Orphaned snapshot temp files (crash between write and rename)
 	// can be snapshot-sized; don't let them accumulate.
 	for _, e := range entries {
-		if _, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt.tmp"); ok {
+		_, ckptTmp := parseSeq(e.Name(), "checkpoint-", ".ckpt.tmp")
+		_, manTmp := parseSeq(e.Name(), "manifest-", ".mf.tmp")
+		if ckptTmp || manTmp {
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
@@ -523,11 +616,18 @@ func (s *Store) BeginCheckpoint() (uint64, error) {
 }
 
 // WriteCheckpoint atomically writes db as the checkpoint covering all
-// segments below seq (temp file + rename + directory sync), then
-// truncates the obsolete segments and any older checkpoint. db must be
-// the snapshot passed alongside BeginCheckpoint's sequence; it is only
-// read. Failures are additionally recorded in Stats.
+// segments below seq — appending chunks not yet in the chunk store,
+// then renaming a fresh manifest into place (temp file + rename +
+// directory sync) — and finally truncates the obsolete segments and
+// older snapshot files. db must be the snapshot passed alongside
+// BeginCheckpoint's sequence, descended from this store's recovered
+// state (chunk ids key the deduplication table, and only that lineage
+// guarantees id ⇒ identical bytes); it is only read. Failures are
+// additionally recorded in Stats.
 func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
+	var written, reused uint64
+	var bytesOut int64
+	compacted := false
 	defer func() {
 		s.mu.Lock()
 		if err != nil {
@@ -535,29 +635,202 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 		} else {
 			s.lastCkptErr = ""
 			s.checkpoints++
+			s.chunksWritten += written
+			s.chunksReused += reused
+			s.ckptBytes += uint64(bytesOut)
+			s.chunkBytes = s.chunkSize
+			if compacted {
+				s.compactions++
+			}
 			s.lastCkpt = time.Now()
 		}
 		s.mu.Unlock()
 	}()
 
-	payload := appendDatabase(nil, db)
-	final := filepath.Join(s.dir, ckptName(seq))
-	tmp := final + ".tmp"
-	if err := writeCheckpointFile(tmp, seq, payload); err != nil {
-		os.Remove(tmp)
-		return err
+	s.ckptFileMu.Lock()
+	defer s.ckptFileMu.Unlock()
+
+	// Plan: walk the snapshot's full chunks once, deduplicating by id,
+	// splitting them into already-durable references and chunks that
+	// must be appended. Blocks are views into the (frozen, immutable)
+	// arena — nothing is copied here.
+	type planned struct {
+		id    uint64
+		block []relation.Value
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return err
+	rels := db.Rels
+	if db.Univ != nil {
+		rels = append(append([]*relation.Relation(nil), db.Rels...), db.Univ)
+	}
+	seen := make(map[uint64]bool)
+	var all, missing []planned
+	var reusedBytes int64
+	for _, r := range rels {
+		r.ForEachFullChunk(func(id uint64, block []relation.Value) bool {
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+			all = append(all, planned{id, block})
+			if ref, ok := s.chunkTable[id]; ok {
+				reusedBytes += chunkRecHeaderLen + ref.ln
+			} else {
+				missing = append(missing, planned{id, block})
+			}
+			return true
+		})
+	}
+	recBytes := func(ps []planned) int64 {
+		var n int64
+		for _, p := range ps {
+			n += chunkRecHeaderLen + int64(len(p.block))*relation.ValueBytes
+		}
+		return n
+	}
+	newBytes := recBytes(missing)
+	liveAfter := int64(chunkStoreHeaderLen) + reusedBytes + newBytes
+
+	// A fresh generation starts from scratch (first checkpoint ever, or
+	// a write error poisoned the current file) or compacts: when the
+	// store has outgrown the floor and would be more than half garbage,
+	// rewriting just the live chunks is cheaper than carrying the dead
+	// ones forever.
+	fresh := s.chunkf == nil
+	if cb := s.opt.compactBytes(); !fresh && cb >= 0 {
+		if projected := s.chunkSize + newBytes; projected > cb && projected > 2*liveAfter {
+			fresh, compacted = true, true
+		}
+	}
+	writeList := missing
+	if fresh {
+		writeList, reusedBytes = all, 0
+		newBytes = recBytes(all)
+		liveAfter = int64(chunkStoreHeaderLen) + newBytes
+	}
+	written, reused = uint64(len(writeList)), uint64(len(all)-len(writeList))
+
+	// Append the planned chunk records (to a brand-new generation when
+	// fresh). The chunk file is synced before the manifest referencing
+	// it is written: a manifest must never point at unsynced data.
+	// (Under NoSync all checkpoint fsyncs are skipped — the store has
+	// already waived power-loss durability, and the page cache keeps
+	// process-crash recovery intact.)
+	gen, f, base := s.chunkGen, s.chunkf, s.chunkSize
+	if fresh {
+		gen = s.chunkGen + 1
+		path := filepath.Join(s.dir, chunkStoreName(gen))
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err = f.Write(chunkMagic); err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+		base = chunkStoreHeaderLen
+	}
+	// abortChunks undoes a failed append. On a fresh generation the old
+	// state is untouched — drop the new file. On the live generation,
+	// roll the file back to its pre-checkpoint size; if that (or the
+	// fsync above it) fails the file's tail state is unknown, so poison
+	// it — the next checkpoint starts a fresh generation rather than
+	// appending behind garbage.
+	abortChunks := func(rollback bool) {
+		if fresh {
+			f.Close()
+			os.Remove(filepath.Join(s.dir, chunkStoreName(gen)))
+			return
+		}
+		if rollback {
+			if terr := f.Truncate(base); terr == nil {
+				return
+			}
+		}
+		s.chunkf.Close()
+		s.chunkf, s.chunkTable = nil, nil
+		s.chunkSize, s.chunkLive = 0, 0
+	}
+	newRefs := make(map[uint64]chunkRef, len(writeList))
+	off := base
+	var rec []byte
+	for _, p := range writeList {
+		rec = appendChunkRecord(rec[:0], p.id, p.block)
+		if _, err = f.WriteAt(rec, off); err != nil {
+			abortChunks(true)
+			return err
+		}
+		newRefs[p.id] = chunkRef{off: off, ln: int64(len(rec) - chunkRecHeaderLen)}
+		off += int64(len(rec))
 	}
 	if !s.opt.NoSync {
-		if err := syncDir(s.dir); err != nil {
+		if err = f.Sync(); err != nil {
+			abortChunks(false)
 			return err
 		}
 	}
 
-	// The new checkpoint supersedes all older segments and checkpoints.
+	// Encode and atomically publish the manifest.
+	refs := func(id uint64) (chunkRef, bool) {
+		if ref, ok := newRefs[id]; ok {
+			return ref, true
+		}
+		if fresh {
+			return chunkRef{}, false
+		}
+		ref, ok := s.chunkTable[id]
+		return ref, ok
+	}
+	payload, err := appendManifest(nil, db, gen, refs)
+	if err != nil {
+		abortChunks(true)
+		return err
+	}
+	final := filepath.Join(s.dir, manName(seq))
+	tmp := final + ".tmp"
+	if err = writeSnapshotFile(tmp, manMagic, seq, payload, !s.opt.NoSync); err != nil {
+		os.Remove(tmp)
+		abortChunks(true)
+		return err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		abortChunks(true)
+		return err
+	}
+	if !s.opt.NoSync {
+		if err = syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	bytesOut = newBytes + int64(len(payload)) + 20
+	if fresh {
+		bytesOut += chunkStoreHeaderLen
+	}
+
+	// Commit the chunk-store state. The table tracks exactly the chunks
+	// the live manifest references — ids are never reassigned, so a
+	// chunk dropped from the snapshot can never be referenced again and
+	// pruning it here matches what a reload from this manifest rebuilds.
+	if fresh {
+		if s.chunkf != nil {
+			s.chunkf.Close()
+		}
+		s.chunkf, s.chunkGen, s.chunkTable = f, gen, newRefs
+	} else {
+		for id := range s.chunkTable {
+			if !seen[id] {
+				delete(s.chunkTable, id)
+			}
+		}
+		for id, ref := range newRefs {
+			s.chunkTable[id] = ref
+		}
+	}
+	s.chunkSize, s.chunkLive = off, liveAfter
+
+	// The new manifest supersedes all older segments, snapshot files,
+	// and chunk-store generations.
 	s.mu.Lock()
 	var drop []uint64
 	for sseq := range s.segSizes {
@@ -574,6 +847,12 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 	if ents, derr := os.ReadDir(s.dir); derr == nil {
 		for _, e := range ents {
 			if cseq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok && cseq < seq {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+			if mseq, ok := parseSeq(e.Name(), "manifest-", ".mf"); ok && mseq < seq {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+			if cgen, ok := parseSeq(e.Name(), "chunks-", ".gyo"); ok && cgen < gen {
 				os.Remove(filepath.Join(s.dir, e.Name()))
 			}
 		}
@@ -602,6 +881,11 @@ func (s *Store) Stats() Stats {
 		Appends:           s.appends,
 		Replayed:          s.replayed,
 		Checkpoints:       s.checkpoints,
+		ChunksWritten:     s.chunksWritten,
+		ChunksReused:      s.chunksReused,
+		CheckpointBytes:   s.ckptBytes,
+		ChunkStoreBytes:   s.chunkBytes,
+		Compactions:       s.compactions,
 		LastCheckpoint:    s.lastCkpt,
 		LastCheckpointErr: s.lastCkptErr,
 	}
@@ -615,8 +899,15 @@ func (s *Store) Dir() string { return s.dir }
 // cache holds it) but not a power failure or kernel panic.
 func (s *Store) Synced() bool { return !s.opt.NoSync }
 
-// Close flushes and closes the WAL. Appends after Close fail.
+// Close flushes and closes the WAL and the chunk store. Appends after
+// Close fail.
 func (s *Store) Close() error {
+	s.ckptFileMu.Lock()
+	if s.chunkf != nil {
+		s.chunkf.Close()
+		s.chunkf = nil
+	}
+	s.ckptFileMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -640,56 +931,23 @@ func (s *Store) Close() error {
 	return err
 }
 
-// --- checkpoint file I/O ---
+// --- legacy full-checkpoint file I/O ---
 //
-// Layout: magic (8) | u32 crc32c(rest) | u64 seq | database payload.
+// Same framing as manifests (see manifest.go) under the old magic,
+// with a full appendDatabase payload. Kept for reading pre-manifest
+// store directories (and for generating test fixtures); new
+// checkpoints are always written as manifest + chunk store.
 
-func writeCheckpointFile(path string, seq uint64, payload []byte) error {
-	// Header + payload are written separately and the CRC is streamed
-	// over both parts, so the (potentially huge) snapshot encoding is
-	// never copied into a second buffer.
-	var hdr [20]byte // magic(8) | crc(4) | seq(8)
-	copy(hdr[:8], ckptMagic)
-	putU64(hdr[12:], seq)
-	crc := crc32.Update(0, castTable, hdr[12:])
-	crc = crc32.Update(crc, castTable, payload)
-	putU32(hdr[8:], crc)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return err
-	}
-	if _, err := f.Write(payload); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+func writeCheckpointFile(path string, seq uint64, payload []byte, sync bool) error {
+	return writeSnapshotFile(path, ckptMagic, seq, payload, sync)
 }
 
 func readCheckpoint(path string, wantSeq uint64) (*relation.Database, error) {
-	data, err := os.ReadFile(path)
+	payload, err := readSnapshotFile(path, ckptMagic, wantSeq)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(ckptMagic)+4+8 || string(data[:len(ckptMagic)]) != string(ckptMagic) {
-		return nil, corruptf("checkpoint header")
-	}
-	crc := readU32(data[len(ckptMagic):])
-	rest := data[len(ckptMagic)+4:]
-	if crcOf(rest) != crc {
-		return nil, corruptf("checkpoint CRC mismatch")
-	}
-	if seq := readU64(rest); seq != wantSeq {
-		return nil, corruptf("checkpoint sequence %d ≠ filename %d", seq, wantSeq)
-	}
-	return decodeDatabase(rest[8:])
+	return decodeDatabase(payload)
 }
 
 func syncDir(dir string) error {

@@ -9,7 +9,10 @@ import (
 	"gyokit/internal/relation"
 )
 
-func listStoreFiles(t *testing.T, dir string) (segs, ckpts []string) {
+// listStoreFiles partitions the directory's contents: WAL segments,
+// snapshot files (incremental manifests and legacy .ckpt checkpoints),
+// and chunk-store generations.
+func listStoreFiles(t *testing.T, dir string) (segs, snaps, chunks []string) {
 	t.Helper()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -19,11 +22,13 @@ func listStoreFiles(t *testing.T, dir string) (segs, ckpts []string) {
 		switch {
 		case strings.HasSuffix(e.Name(), ".log"):
 			segs = append(segs, e.Name())
-		case strings.HasSuffix(e.Name(), ".ckpt"):
-			ckpts = append(ckpts, e.Name())
+		case strings.HasSuffix(e.Name(), ".ckpt"), strings.HasSuffix(e.Name(), ".mf"):
+			snaps = append(snaps, e.Name())
+		case strings.HasSuffix(e.Name(), ".gyo"):
+			chunks = append(chunks, e.Name())
 		}
 	}
-	return segs, ckpts
+	return segs, snaps, chunks
 }
 
 // manyBatches returns a create batch plus n single-tuple insert batches.
@@ -92,9 +97,9 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	if after.Checkpoints != 1 || after.LastCheckpoint.IsZero() {
 		t.Errorf("checkpoint counters = %+v", after)
 	}
-	segs, ckpts := listStoreFiles(t, dir)
-	if len(segs) != 1 || len(ckpts) != 1 {
-		t.Errorf("files after checkpoint: segs %v, ckpts %v", segs, ckpts)
+	segs, snaps, chunks := listStoreFiles(t, dir)
+	if len(segs) != 1 || len(snaps) != 1 || len(chunks) != 1 {
+		t.Errorf("files after checkpoint: segs %v, snaps %v, chunks %v", segs, snaps, chunks)
 	}
 
 	// More writes after the checkpoint land in the new tail.
@@ -154,11 +159,11 @@ func TestCorruptCheckpointFallsBackToWAL(t *testing.T) {
 	if err := os.WriteFile(seg1, seg1Bytes, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, ckpts := listStoreFiles(t, dir)
-	if len(ckpts) != 1 {
-		t.Fatalf("expected one checkpoint, got %v", ckpts)
+	_, snaps, _ := listStoreFiles(t, dir)
+	if len(snaps) != 1 {
+		t.Fatalf("expected one snapshot file, got %v", snaps)
 	}
-	path := filepath.Join(dir, ckpts[0])
+	path := filepath.Join(dir, snaps[0])
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -176,9 +181,10 @@ func TestCorruptCheckpointFallsBackToWAL(t *testing.T) {
 	if !dbEqual(db, s2.State()) {
 		t.Error("fallback recovery from full WAL differs from ground truth")
 	}
-	// The corrupt checkpoint must have been discarded.
-	if _, ckpts := listStoreFiles(t, dir); len(ckpts) != 0 {
-		t.Errorf("corrupt checkpoint not removed: %v", ckpts)
+	// The corrupt manifest — and the chunk store nothing references any
+	// more — must have been discarded.
+	if _, snaps, chunks := listStoreFiles(t, dir); len(snaps) != 0 || len(chunks) != 0 {
+		t.Errorf("corrupt snapshot not removed: snaps %v, chunks %v", snaps, chunks)
 	}
 }
 
@@ -200,14 +206,14 @@ func TestUnrecoverableWithoutCheckpoint(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Destroy the only checkpoint: segment 1 is gone (truncated by the
-	// checkpoint), so acknowledged data is unrecoverable and Open must
-	// say so rather than serve an empty database.
-	_, ckpts := listStoreFiles(t, dir)
-	if len(ckpts) != 1 {
-		t.Fatalf("expected one checkpoint, got %v", ckpts)
+	// Destroy the only checkpoint manifest: segment 1 is gone (truncated
+	// by the checkpoint), so acknowledged data is unrecoverable and Open
+	// must say so rather than serve an empty database.
+	_, snaps, _ := listStoreFiles(t, dir)
+	if len(snaps) != 1 {
+		t.Fatalf("expected one snapshot file, got %v", snaps)
 	}
-	if err := os.Remove(filepath.Join(dir, ckpts[0])); err != nil {
+	if err := os.Remove(filepath.Join(dir, snaps[0])); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, Options{NoSync: true}); err == nil {

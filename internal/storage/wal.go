@@ -35,6 +35,8 @@ const (
 
 func crcOf(b []byte) uint32 { return crc32.Checksum(b, castTable) }
 
+func crc32Update(crc uint32, b []byte) uint32 { return crc32.Update(crc, castTable, b) }
+
 func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
 func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
 func readU32(b []byte) uint32   { return binary.LittleEndian.Uint32(b) }
