@@ -532,6 +532,27 @@ func BenchmarkEngineSolveSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveInstrumented is the observability-overhead gate: the
+// cached-plan serial solve path with every instrument live (latency
+// histogram observe, plan-cache counters, snapshot gauges registered).
+// CI gates this benchmark at ≤5% regression against the committed
+// baseline — the budget for the whole metrics layer on the hot path.
+func BenchmarkSolveInstrumented(b *testing.B) {
+	d, x, db := engineBenchQuery()
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	e.Swap(db)
+	if _, _, err := e.Solve(d, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Solve(d, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E-PERF8: the §4 cyclic strategy --------------------------------
 
 func BenchmarkEvalCyclicStrategy(b *testing.B) {

@@ -28,17 +28,21 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gyokit/internal/engine"
 	"gyokit/internal/exp"
+	"gyokit/internal/obs"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
 )
@@ -65,6 +69,16 @@ func main() {
 	maxRegress := flag.Float64("maxregress", 1.20, "max allowed current/baseline ns-per-op ratio")
 	flag.Parse()
 
+	if *parallel > 0 {
+		// -json here switches the load report (including the metrics
+		// scrape deltas) to machine-readable output; without -parallel it
+		// keeps its original meaning of converting `go test -bench` text.
+		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter, *shards, *emit); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *emit {
 		if err := emitJSON(*sha); err != nil {
 			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
@@ -74,13 +88,6 @@ func main() {
 	}
 	if *gateBaseline != "" {
 		if err := gate(*gateBaseline, *gatePattern, *maxRegress); err != nil {
-			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *parallel > 0 {
-		if err := loadDrive(*parallel, *duration, *schemaText, *tuples, *domain, !*nowriter, *shards); err != nil {
 			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
 			os.Exit(1)
 		}
@@ -126,7 +133,14 @@ func main() {
 // them in. Each request runs with the given partition parallelism.
 // It reports aggregate throughput, per-request latency percentiles,
 // and cache behavior.
-func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, writer bool, shards int) error {
+//
+// The run has two phases — a warm-up pass over every target (plans
+// compiled, pools primed) and the measured load — with a metrics
+// scrape between them and one after, exactly as an external Prometheus
+// would scrape a gyod. The per-series deltas isolate what the measured
+// phase did; with jsonOut the whole report, deltas included, is one
+// JSON object on stdout.
+func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, writer bool, shards int, jsonOut bool) error {
 	u := schema.NewUniverse()
 	sch, err := schema.Parse(u, schemaText)
 	if err != nil {
@@ -147,15 +161,31 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 	univ, got := relation.RandomUniversal(u, sch.Attrs(), tuples, domain, rand.New(rand.NewSource(1)))
 	e.Swap(relation.URDatabase(sch, univ))
 
-	fmt.Printf("load-driving %s (%d universal tuples, %d query targets) with %d goroutines for %v",
-		sch, got, len(targets), n, d)
-	if shards > 1 {
-		fmt.Printf(" at parallelism %d", e.ClampParallelism(shards))
+	// Phase 1: warm-up — solve every target once so plans are compiled
+	// and pools primed before anything is measured.
+	for _, x := range targets {
+		if _, _, err := e.SolvePar(sch, x, shards); err != nil {
+			return err
+		}
 	}
-	if writer {
-		fmt.Printf(" + 1 writer")
+	// Scrape between phases: the delta against the post-run scrape
+	// isolates exactly what the measured load did.
+	before, err := scrapeMetrics(e)
+	if err != nil {
+		return err
 	}
-	fmt.Println()
+
+	if !jsonOut {
+		fmt.Printf("load-driving %s (%d universal tuples, %d query targets) with %d goroutines for %v",
+			sch, got, len(targets), n, d)
+		if shards > 1 {
+			fmt.Printf(" at parallelism %d", e.ClampParallelism(shards))
+		}
+		if writer {
+			fmt.Printf(" + 1 writer")
+		}
+		fmt.Println()
+	}
 
 	stop := make(chan struct{})
 	var swaps int64
@@ -238,12 +268,60 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 	for _, l := range lats {
 		all = append(all, l...)
 	}
+	after, err := scrapeMetrics(e)
+	if err != nil {
+		return err
+	}
+	deltas := metricsDelta(before, after)
 	st := e.Stats()
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	}
+
+	if jsonOut {
+		report := struct {
+			Schema        string             `json:"schema"`
+			Goroutines    int                `json:"goroutines"`
+			Parallelism   int                `json:"parallelism"`
+			Writer        bool               `json:"writer"`
+			DurationSec   float64            `json:"durationSec"`
+			Queries       int64              `json:"queries"`
+			QueriesPerSec float64            `json:"queriesPerSec"`
+			LatencyNs     map[string]int64   `json:"latencyNs,omitempty"`
+			PlanHits      uint64             `json:"planHits"`
+			PlanMisses    uint64             `json:"planMisses"`
+			Swaps         int64              `json:"swaps,omitempty"`
+			MetricsDelta  map[string]float64 `json:"metricsDelta"`
+		}{
+			Schema:        sch.String(),
+			Goroutines:    n,
+			Parallelism:   e.ClampParallelism(shards),
+			Writer:        writer,
+			DurationSec:   elapsed.Seconds(),
+			Queries:       total,
+			QueriesPerSec: float64(total) / elapsed.Seconds(),
+			PlanHits:      st.PlanHits,
+			PlanMisses:    st.PlanMisses,
+			Swaps:         atomic.LoadInt64(&swaps),
+			MetricsDelta:  deltas,
+		}
+		if len(all) > 0 {
+			report.LatencyNs = map[string]int64{
+				"p50": percentile(all, 50).Nanoseconds(),
+				"p95": percentile(all, 95).Nanoseconds(),
+				"p99": percentile(all, 99).Nanoseconds(),
+				"max": all[len(all)-1].Nanoseconds(),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
 	fmt.Printf("total:      %d queries in %v\n", total, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f queries/sec aggregate (%.0f /sec/goroutine)\n",
 		float64(total)/elapsed.Seconds(), float64(total)/elapsed.Seconds()/float64(n))
 	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n",
 			percentile(all, 50), percentile(all, 95), percentile(all, 99), all[len(all)-1])
 	}
@@ -254,7 +332,39 @@ func loadDrive(n int, d time.Duration, schemaText string, tuples, domain int, wr
 	if writer {
 		fmt.Printf("snapshots:  %d swaps during the run\n", atomic.LoadInt64(&swaps))
 	}
+	if len(deltas) > 0 {
+		fmt.Printf("metrics:    %d series moved during the measured phase; notable deltas:\n", len(deltas))
+		for _, k := range obs.SortedKeys(deltas) {
+			if strings.Contains(k, "_bucket{") {
+				continue // bucket lines swamp the summary; counts and sums tell the story
+			}
+			fmt.Printf("  %-56s %+g\n", k, deltas[k])
+		}
+	}
 	return nil
+}
+
+// scrapeMetrics serializes the engine's registry to Prometheus text and
+// parses it back — the in-process equivalent of curling /metrics, so
+// the deltas the driver reports are exactly what an external scraper
+// would see.
+func scrapeMetrics(e *engine.Engine) (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := e.Metrics().WriteText(&buf); err != nil {
+		return nil, err
+	}
+	return obs.ParseText(&buf)
+}
+
+// metricsDelta returns after-minus-before for every series that moved.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
 }
 
 // percentile returns the p-th percentile of sorted latencies by the

@@ -9,6 +9,7 @@
 //
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
 //	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-compactbytes N] [-nosync]
+//	     [-pprof] [-slowquery 1s]
 //
 // Endpoints (JSON in/out):
 //
@@ -18,8 +19,15 @@
 //	POST /insert    {"rel": "ab", "tuples": [[1,2]]} durable insert batch
 //	POST /delete    {"rel": "ab", "tuples": [[1,2]]} durable delete batch
 //	POST /load      {"relations": [...]}             bulk ingest, one atomic batch
-//	GET  /stats     engine counters, per-relation cardinalities, durability
+//	GET  /stats     engine counters, per-relation cardinalities, durability, build info
+//	GET  /metrics   Prometheus text exposition (solve latency, plan cache, WAL, checkpoints)
 //	GET  /healthz
+//
+// Observability: every /solve reply carries a server-generated request
+// id (X-Request-Id header and body); requests slower than -slowquery
+// are logged with that id, the query fingerprint, and the top-3 most
+// expensive statements. -pprof additionally serves net/http/pprof
+// under /debug/pprof/ (off by default).
 //
 // With -data DIR, the directory's recovered state is served (the
 // -schema/-tuples generator only seeds a fresh directory, through the
@@ -46,12 +54,14 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gyokit/internal/engine"
+	"gyokit/internal/obs"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
 	"gyokit/internal/storage"
@@ -77,9 +87,14 @@ func run() error {
 	ckptBytes := flag.Int64("ckptbytes", storage.DefaultCheckpointBytes, "live-WAL bytes that trigger a background checkpoint (negative disables)")
 	compactBytes := flag.Int64("compactbytes", storage.DefaultCompactBytes, "chunk-store bytes past which checkpoint GC may compact (negative disables)")
 	noSync := flag.Bool("nosync", false, "skip fsync on WAL appends (faster, loses crash durability)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default: exposes stacks and heap contents)")
+	slowQuery := flag.Duration("slowquery", time.Second, "log /solve requests slower than this (0 disables)")
 	flag.Parse()
 
-	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers, Logf: log.Printf}
+	// One registry spans engine and store, so GET /metrics is the whole
+	// server on one page.
+	reg := obs.NewRegistry()
+	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers, Logf: log.Printf, Metrics: reg}
 	var store *storage.Store
 	if *dataDir != "" {
 		var err error
@@ -88,6 +103,7 @@ func run() error {
 			CheckpointBytes: *ckptBytes,
 			CompactBytes:    *compactBytes,
 			NoSync:          *noSync,
+			Metrics:         reg,
 		})
 		if err != nil {
 			return err
@@ -135,8 +151,24 @@ func run() error {
 	}
 
 	srv := engine.NewServer(e, u, d)
+	srv.SlowQuery = *slowQuery
+	handler := srv.Handler()
+	if *pprofOn {
+		// pprof mounts on its own mux in front of the API: the DefaultServeMux
+		// registrations done by the net/http/pprof import are deliberately not
+		// served, so the profiles are exposed only behind the flag.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("gyod: pprof enabled under /debug/pprof/")
+	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"time"
@@ -265,13 +266,17 @@ func (g *gyod) get(path string) ([]byte, error) {
 	return bytes.TrimSpace(out), nil
 }
 
-// resultPrefix strips the per-run "stats" object from a /solve reply.
+// resultPrefix strips the per-run fields from a /solve reply — the
+// "stats" object (elapsedNs) and the server-generated "requestId" —
+// leaving only the answer itself for the before/after comparison.
 func resultPrefix(b []byte) []byte {
 	if i := bytes.Index(b, []byte(`"stats"`)); i >= 0 {
-		return b[:i]
+		b = b[:i]
 	}
-	return b
+	return requestIDRe.ReplaceAll(b, nil)
 }
+
+var requestIDRe = regexp.MustCompile(`"requestId":"[^"]*",?`)
 
 // firstLine truncates long JSON for display.
 func firstLine(b []byte) string {

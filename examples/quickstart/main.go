@@ -7,9 +7,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"gyokit"
 	"gyokit/internal/gyo"
+	"gyokit/internal/program"
 )
 
 func main() {
@@ -55,4 +57,33 @@ func main() {
 	}
 	fmt.Printf("\n%s: tree=%v; add %s to treefy (Corollary 3.2)\n",
 		ring, cls2.Tree, u.FormatSet(cls2.TreefyingRelation))
+
+	// Evaluate a query and trace it: SpanTree turns a run's stats into
+	// one span per executed statement, nested by data flow. Over HTTP
+	// the same tree comes back from POST /solve with "trace": true.
+	e := gyokit.NewEngine(gyokit.EngineOptions{})
+	e.Swap(gyokit.RandomURDatabase(d, 200, 8, 1))
+	x := u.Set("a", "f")
+	sol, st, err := e.Solve(d, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := e.Plan(d, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := pl.Prog.SpanTree(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace of [%s] (%d tuples, %v):\n", u.FormatSet(x), sol.Card(), st.Elapsed)
+	printSpan(root, "  ")
+}
+
+func printSpan(s *program.Span, indent string) {
+	fmt.Printf("%s#%d %s %s: %d→%d (%v)\n",
+		indent, s.ID, s.Op, s.Rel, s.InLeft, s.Out, time.Duration(s.ElapsedNs))
+	for _, c := range s.Children {
+		printSpan(c, indent+"  ")
+	}
 }

@@ -28,8 +28,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gyokit/internal/core"
+	"gyokit/internal/obs"
 	"gyokit/internal/program"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
@@ -62,8 +64,17 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines the engine has
 	// no other way to surface — today that is background checkpoint
 	// failures, which would otherwise only land in the store's stats.
-	// log.Printf fits directly.
+	// log.Printf fits directly; nil makes engine logging a no-op.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the observability registry the engine
+	// registers its instruments in (solve latency histograms, plan-cache
+	// counters, apply histograms, snapshot gauges). Registries reject
+	// duplicate series, so each registry serves at most one engine; share
+	// one registry between an engine and its storage.Options.Metrics to
+	// get a single /metrics page. Nil means the engine creates a private
+	// registry, reachable via Engine.Metrics — instrumentation is always
+	// on (its cost is a few atomic ops per operation).
+	Metrics *obs.Registry
 }
 
 // Plan is a cache-resident compiled query: the classification of the
@@ -87,6 +98,7 @@ type Plan struct {
 type Stats struct {
 	PlanHits    uint64 // cache hits (classification or plan)
 	PlanMisses  uint64 // cache misses compiled from scratch
+	Evictions   uint64 // plans pushed out of the LRU by newer entries
 	CachedPlans int    // entries currently resident
 	Evals       uint64 // completed Solve/SolveOn/SolvePar calls
 	ParEvals    uint64 // the subset that ran partition-parallel
@@ -98,7 +110,10 @@ type Engine struct {
 	cache *lruCache  // nil when caching is disabled
 
 	hits, misses, evals atomic.Uint64
-	parEvals            atomic.Uint64
+	parEvals, evictions atomic.Uint64
+
+	reg *obs.Registry // never nil; Options.Metrics or a private one
+	m   engineMetrics
 
 	workers int       // max shards per request (≥ 1)
 	execs   sync.Pool // *relation.Exec
@@ -135,6 +150,12 @@ func New(opts Options) *Engine {
 	if size > 0 {
 		e.cache = newLRUCache(size)
 	}
+	e.reg = opts.Metrics
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.m = newEngineMetrics(e.reg)
+	e.registerGauges(e.reg)
 	e.logf = opts.Logf
 	if opts.Store != nil {
 		e.store = opts.Store
@@ -199,8 +220,12 @@ func (e *Engine) storePlan(key cacheKey, pl *Plan) {
 		return
 	}
 	e.mu.Lock()
-	e.cache.put(key, pl)
+	evicted := e.cache.put(key, pl)
 	e.mu.Unlock()
+	if evicted > 0 {
+		e.evictions.Add(uint64(evicted))
+		e.m.planEvictions.Add(uint64(evicted))
+	}
 }
 
 // Classify returns the §3 classification of d, from cache when the
@@ -216,9 +241,11 @@ func (e *Engine) Classify(d *schema.Schema) (*core.Classification, error) {
 	key := cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}
 	if pl := e.lookup(key, d, schema.AttrSet{}, false); pl != nil && sameOrder(pl.D, d) {
 		e.hits.Add(1)
+		e.m.planHits.Inc()
 		return pl.Cls, nil
 	}
 	e.misses.Add(1)
+	e.m.planMisses.Inc()
 	cls, err := core.Classify(d)
 	if err != nil {
 		return nil, err
@@ -231,16 +258,25 @@ func (e *Engine) Classify(d *schema.Schema) (*core.Classification, error) {
 // the same (schema, target) pair — compared by fingerprint, verified
 // structurally — has been planned before.
 func (e *Engine) Plan(d *schema.Schema, x schema.AttrSet) (*Plan, error) {
+	pl, _, err := e.plan(d, x)
+	return pl, err
+}
+
+// plan is Plan plus a cache-outcome flag, so solve paths can label
+// their latency observations hit vs miss.
+func (e *Engine) plan(d *schema.Schema, x schema.AttrSet) (*Plan, bool, error) {
 	fp, xfp := d.QueryFingerprint(x)
 	key := cacheKey{schemaFP: fp, targetFP: xfp}
 	if pl := e.lookup(key, d, x, true); pl != nil {
 		e.hits.Add(1)
-		return pl, nil
+		e.m.planHits.Inc()
+		return pl, true, nil
 	}
 	e.misses.Add(1)
+	e.m.planMisses.Inc()
 	cls, prog, err := core.Prepare(d, x)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	pl := &Plan{D: d.Clone(), X: x.Clone(), Cls: cls, Prog: prog}
 	e.storePlan(key, pl)
@@ -248,7 +284,7 @@ func (e *Engine) Plan(d *schema.Schema, x schema.AttrSet) (*Plan, error) {
 	// same schema (in this order) should not redo the GYO work the plan
 	// already paid for.
 	e.storePlan(cacheKey{schemaFP: d.OrderedFingerprint(), targetFP: classifyFP}, pl)
-	return pl, nil
+	return pl, false, nil
 }
 
 // Swap freezes db and atomically publishes it as the engine's current
@@ -315,6 +351,7 @@ var ErrDurability = errors.New("engine: durability failure")
 // Writers are serialized with Update/Swap; readers stay on the old
 // snapshot, unblocked, until the new one lands.
 func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts []int, err error) {
+	t0 := time.Now()
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	cur := e.db.Load()
@@ -335,6 +372,14 @@ func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts 
 	next.Freeze()
 	e.db.Store(next)
 	e.maybeCheckpointLocked(next)
+	e.m.applySec.Observe(time.Since(t0).Seconds())
+	tuples := 0
+	for _, m := range muts {
+		if m.Width > 0 {
+			tuples += len(m.Values) / m.Width
+		}
+	}
+	e.m.applyBatchTuples.Observe(float64(tuples))
 	return next, counts, nil
 }
 
@@ -419,7 +464,8 @@ func (e *Engine) Solve(d *schema.Schema, x schema.AttrSet) (*relation.Relation, 
 // SolveOn evaluates the query (d, x) against an explicit database
 // state, using the plan cache and the Exec pool. db is never mutated.
 func (e *Engine) SolveOn(db *relation.Database, d *schema.Schema, x schema.AttrSet) (*relation.Relation, *program.Stats, error) {
-	pl, err := e.Plan(d, x)
+	t0 := time.Now()
+	pl, hit, err := e.plan(d, x)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -432,6 +478,7 @@ func (e *Engine) SolveOn(db *relation.Database, d *schema.Schema, x schema.AttrS
 	out, st, err := pl.Prog.EvalExec(adb, ex)
 	if err == nil {
 		e.evals.Add(1)
+		e.m.solveHist(hit, false).Observe(time.Since(t0).Seconds())
 	}
 	return out, st, err
 }
@@ -473,7 +520,8 @@ func (e *Engine) SolveOnPar(db *relation.Database, d *schema.Schema, x schema.At
 	if parallelism <= 1 {
 		return e.SolveOn(db, d, x)
 	}
-	pl, err := e.Plan(d, x)
+	t0 := time.Now()
+	pl, hit, err := e.plan(d, x)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -488,6 +536,9 @@ func (e *Engine) SolveOnPar(db *relation.Database, d *schema.Schema, x schema.At
 	if err == nil {
 		e.evals.Add(1)
 		e.parEvals.Add(1)
+		e.m.solveHist(hit, true).Observe(time.Since(t0).Seconds())
+		e.m.repartitions.Add(uint64(st.Repartitions))
+		e.m.repartitionBytes.Add(uint64(st.RepartitionBytes))
 	}
 	return out, st, err
 }
@@ -497,6 +548,7 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		PlanHits:   e.hits.Load(),
 		PlanMisses: e.misses.Load(),
+		Evictions:  e.evictions.Load(),
 		Evals:      e.evals.Load(),
 		ParEvals:   e.parEvals.Load(),
 	}

@@ -43,18 +43,23 @@ func (c *lruCache) get(key cacheKey) (*Plan, bool) {
 	return el.Value.(*lruEntry).plan, true
 }
 
-func (c *lruCache) put(key cacheKey, pl *Plan) {
+// put inserts or refreshes key and returns how many entries were
+// evicted to stay within capacity (0 or 1 in practice).
+func (c *lruCache) put(key cacheKey, pl *Plan) int {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).plan = pl
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, plan: pl})
+	evicted := 0
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"gyokit/internal/obs"
+)
+
+// engineMetrics holds the engine's observability instruments. Handles
+// are plain pointers observed on the hot paths (one or two atomic ops
+// each — the cached-plan solve overhead is CI-gated at ≤5%); pull-style
+// gauges are registered as scrape-time callbacks in registerGauges.
+type engineMetrics struct {
+	// solve latency split by plan-cache outcome × execution mode:
+	// [0]=cache hit, [1]=cache miss (cold); [_][0]=serial, [_][1]=parallel.
+	solve [2][2]*obs.Histogram
+
+	planHits      *obs.Counter
+	planMisses    *obs.Counter
+	planEvictions *obs.Counter
+
+	applySec         *obs.Histogram // Apply latency: copy-on-write + WAL append + publish
+	applyBatchTuples *obs.Histogram // tuples per Apply batch
+
+	repartitions     *obs.Counter // partitionings built by parallel runs
+	repartitionBytes *obs.Counter // arena bytes those partitionings moved
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	const solveHelp = "End-to-end Solve latency (plan lookup, alignment, evaluation)."
+	solve := func(cache, mode string) *obs.Histogram {
+		return reg.Histogram("gyo_solve_seconds", solveHelp, obs.LatencyBuckets(),
+			"cache", cache, "mode", mode)
+	}
+	const planHelp = "Plan-cache events: hits served, misses compiled, LRU evictions."
+	plan := func(event string) *obs.Counter {
+		return reg.Counter("gyo_plan_cache_total", planHelp, "event", event)
+	}
+	return engineMetrics{
+		solve: [2][2]*obs.Histogram{
+			{solve("hit", "serial"), solve("hit", "parallel")},
+			{solve("miss", "serial"), solve("miss", "parallel")},
+		},
+		planHits:      plan("hit"),
+		planMisses:    plan("miss"),
+		planEvictions: plan("eviction"),
+		applySec: reg.Histogram("gyo_apply_seconds",
+			"Durable write-path latency per batch: copy-on-write apply, WAL append, snapshot publish.",
+			obs.LatencyBuckets()),
+		applyBatchTuples: reg.Histogram("gyo_apply_batch_tuples",
+			"Tuples per Apply mutation batch.", obs.SizeBuckets(1, 4, 12)),
+		repartitions: reg.Counter("gyo_repartitions_total",
+			"Partitionings built during parallel evaluation (initial or key change)."),
+		repartitionBytes: reg.Counter("gyo_repartition_bytes_total",
+			"Arena bytes moved building those partitionings — the would-be network traffic of a distributed run."),
+	}
+}
+
+// solveHist picks the latency histogram for one solve call.
+func (m *engineMetrics) solveHist(cacheHit bool, parallel bool) *obs.Histogram {
+	ci, mi := 1, 0
+	if cacheHit {
+		ci = 0
+	}
+	if parallel {
+		mi = 1
+	}
+	return m.solve[ci][mi]
+}
+
+// registerGauges adds the engine's pull-style gauges: values that are
+// snapshots of live state rather than events. Called once from New;
+// the callbacks run at scrape time on the scraper's goroutine.
+func (e *Engine) registerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("gyo_plan_cache_resident",
+		"Plans currently resident in the LRU cache.", func() float64 {
+			if e.cache == nil {
+				return 0
+			}
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.cache.len())
+		})
+	reg.GaugeFunc("gyo_snapshot_arena_bytes",
+		"Tuple-arena bytes of the live database snapshot (universe included).", func() float64 {
+			db := e.db.Load()
+			if db == nil {
+				return 0
+			}
+			var total int64
+			for _, r := range db.Rels {
+				total += int64(r.ArenaBytes())
+			}
+			if db.Univ != nil {
+				total += int64(db.Univ.ArenaBytes())
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("gyo_snapshot_relations",
+		"Relations in the live database snapshot.", func() float64 {
+			db := e.db.Load()
+			if db == nil {
+				return 0
+			}
+			return float64(len(db.Rels))
+		})
+}
+
+// Metrics returns the engine's observability registry — the one passed
+// in Options.Metrics, or the engine's private registry when none was.
+// Serve it as a Prometheus endpoint with Registry.WriteText.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"gyokit/internal/program"
@@ -31,7 +32,12 @@ import (
 //	                 "tuples": ..}, ...]}               multi-relation batch
 //
 // plus GET /stats (engine counters, per-relation cardinalities and
-// arena bytes, durability counters) and GET /healthz.
+// arena bytes, durability counters, process/build info), GET /metrics
+// (the engine's observability registry in Prometheus text exposition
+// format), and GET /healthz. Every /solve reply carries a
+// server-generated request id in the X-Request-Id header (and the
+// body), the key correlating client reports with the slow-query log;
+// "trace": true adds a per-statement span tree to the reply.
 //
 // Client input never grows the serving Universe: /classify and /plan
 // parse into a throwaway per-request universe (the plan cache still
@@ -55,6 +61,11 @@ type Server struct {
 	// MaxLoadBytes caps the /load request body. Zero means
 	// DefaultMaxLoadBytes.
 	MaxLoadBytes int64
+	// SlowQuery, when positive, makes /solve log any request whose
+	// end-to-end evaluation exceeds it — request id, query fingerprint,
+	// parallelism, and the top-3 most expensive statements — through the
+	// engine's Logf. Zero disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // DefaultMaxTuples is the /solve response tuple cap when Server leaves
@@ -87,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -213,31 +225,40 @@ type solveRequest struct {
 	// many shards; it is clamped to the engine's worker cap, and ≤ 1
 	// (or omitting it) keeps the serial path.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Trace adds a per-statement span tree to the reply: one span per
+	// executed program statement, nested by data flow, with input/output
+	// cardinalities and elapsed time. The untraced path pays nothing for
+	// the feature — spans are built from the run's statistics only when
+	// requested.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SolveStats is the cost report embedded in a /solve reply.
 type SolveStats struct {
-	Statements      int   `json:"statements"`
-	TuplesProduced  int   `json:"tuplesProduced"`
-	MaxIntermediate int   `json:"maxIntermediate"`
-	Joins           int   `json:"joins"`
-	Projects        int   `json:"projects"`
-	Semijoins       int   `json:"semijoins"`
-	Parallelism     int   `json:"parallelism"`             // shards actually used (1 = serial)
-	ParallelStmts   int   `json:"parallelStmts,omitempty"` // statements that fanned out
-	Repartitions    int   `json:"repartitions,omitempty"`  // partitionings built during the run
-	ElapsedNs       int64 `json:"elapsedNs"`
+	Statements       int   `json:"statements"`
+	TuplesProduced   int   `json:"tuplesProduced"`
+	MaxIntermediate  int   `json:"maxIntermediate"`
+	Joins            int   `json:"joins"`
+	Projects         int   `json:"projects"`
+	Semijoins        int   `json:"semijoins"`
+	Parallelism      int   `json:"parallelism"`                // shards actually used (1 = serial)
+	ParallelStmts    int   `json:"parallelStmts,omitempty"`    // statements that fanned out
+	Repartitions     int   `json:"repartitions,omitempty"`     // partitionings built during the run
+	RepartitionBytes int64 `json:"repartitionBytes,omitempty"` // arena bytes those partitionings moved
+	ElapsedNs        int64 `json:"elapsedNs"`
 }
 
 // SolveResponse is the /solve reply. Tuples holds up to the configured
 // cap of result rows in Cols order; Card is always the full count.
 type SolveResponse struct {
 	X         string             `json:"x"`
+	RequestID string             `json:"requestId"` // also in the X-Request-Id header
 	Cols      []string           `json:"cols"`
 	Card      int                `json:"card"`
 	Tuples    [][]relation.Value `json:"tuples"`
 	Truncated bool               `json:"truncated,omitempty"`
 	Stats     SolveStats         `json:"stats"`
+	Trace     *program.Span      `json:"trace,omitempty"` // present when the request set "trace": true
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -281,28 +302,49 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	par := s.E.ClampParallelism(req.Parallelism)
+	reqID := newRequestID()
+	w.Header().Set("X-Request-Id", reqID)
+	t0 := time.Now()
 	out, st, err := s.E.SolvePar(d, x, par)
+	elapsed := time.Since(t0)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.SlowQuery > 0 && elapsed >= s.SlowQuery {
+		fp, xfp := d.QueryFingerprint(x)
+		s.logSlowQuery(reqID, fp, xfp, s.U.FormatSet(x), par, elapsed, st)
+	}
 	cols := out.Cols()
 	resp := SolveResponse{
-		X:    s.U.FormatSet(x),
-		Cols: make([]string, len(cols)),
-		Card: out.Card(),
+		X:         s.U.FormatSet(x),
+		RequestID: reqID,
+		Cols:      make([]string, len(cols)),
+		Card:      out.Card(),
 		Stats: SolveStats{
-			Statements:      len(st.PerStmt),
-			TuplesProduced:  st.TuplesProduced,
-			MaxIntermediate: st.MaxIntermediate,
-			Joins:           st.Joins,
-			Projects:        st.Projects,
-			Semijoins:       st.Semijoins,
-			Parallelism:     par,
-			ParallelStmts:   st.ParallelStmts,
-			Repartitions:    st.Repartitions,
-			ElapsedNs:       st.Elapsed.Nanoseconds(),
+			Statements:       len(st.PerStmt),
+			TuplesProduced:   st.TuplesProduced,
+			MaxIntermediate:  st.MaxIntermediate,
+			Joins:            st.Joins,
+			Projects:         st.Projects,
+			Semijoins:        st.Semijoins,
+			Parallelism:      par,
+			ParallelStmts:    st.ParallelStmts,
+			Repartitions:     st.Repartitions,
+			RepartitionBytes: st.RepartitionBytes,
+			ElapsedNs:        st.Elapsed.Nanoseconds(),
 		},
+	}
+	if req.Trace {
+		// A second Plan call is a guaranteed cache hit for the plan the
+		// solve just used, so the traced path re-derives the statement
+		// list without threading the plan through SolvePar's signature.
+		pl, err := s.E.Plan(d, x)
+		if err == nil {
+			if span, serr := pl.Prog.SpanTree(st); serr == nil {
+				resp.Trace = span
+			}
+		}
 	}
 	for i, c := range cols {
 		resp.Cols[i] = s.U.Name(c)
@@ -530,27 +572,35 @@ type DurabilityStats struct {
 // StatsResponse is the /stats reply. Per-relation cardinalities live
 // in Relations (which superseded the bare snapshotCard array).
 type StatsResponse struct {
-	PlanHits    uint64           `json:"planHits"`
-	PlanMisses  uint64           `json:"planMisses"`
-	CachedPlans int              `json:"cachedPlans"`
-	Evals       uint64           `json:"evals"`
-	ParEvals    uint64           `json:"parEvals"`
-	Workers     int              `json:"workers"` // per-request parallelism cap
-	Schema      string           `json:"schema,omitempty"`
-	Relations   []RelationStats  `json:"relations,omitempty"`  // live snapshot, by relation
-	ArenaBytes  int64            `json:"arenaBytes,omitempty"` // total tuple-arena bytes served
-	Durability  *DurabilityStats `json:"durability,omitempty"` // present when storage is configured
+	PlanHits      uint64           `json:"planHits"`
+	PlanMisses    uint64           `json:"planMisses"`
+	PlanEvictions uint64           `json:"planEvictions"`
+	CachedPlans   int              `json:"cachedPlans"`
+	Evals         uint64           `json:"evals"`
+	ParEvals      uint64           `json:"parEvals"`
+	Workers       int              `json:"workers"`       // per-request parallelism cap
+	UptimeSeconds float64          `json:"uptimeSeconds"` // since process start
+	Goroutines    int              `json:"goroutines"`
+	BuildInfo     *BuildInfo       `json:"buildInfo,omitempty"` // embedded module/VCS provenance
+	Schema        string           `json:"schema,omitempty"`
+	Relations     []RelationStats  `json:"relations,omitempty"`  // live snapshot, by relation
+	ArenaBytes    int64            `json:"arenaBytes,omitempty"` // total tuple-arena bytes served
+	Durability    *DurabilityStats `json:"durability,omitempty"` // present when storage is configured
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.E.Stats()
 	resp := StatsResponse{
-		PlanHits:    st.PlanHits,
-		PlanMisses:  st.PlanMisses,
-		CachedPlans: st.CachedPlans,
-		Evals:       st.Evals,
-		ParEvals:    st.ParEvals,
-		Workers:     s.E.Workers(),
+		PlanHits:      st.PlanHits,
+		PlanMisses:    st.PlanMisses,
+		PlanEvictions: st.Evictions,
+		CachedPlans:   st.CachedPlans,
+		Evals:         st.Evals,
+		ParEvals:      st.ParEvals,
+		Workers:       s.E.Workers(),
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		BuildInfo:     readBuildInfo(),
 	}
 	if s.D != nil {
 		resp.Schema = s.D.String()

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gyokit/internal/obs"
+	"gyokit/internal/program"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+	"gyokit/internal/storage"
+)
+
+// obsServer boots a durable engine and store sharing one observability
+// registry — the gyod wiring — seeded with the chain schema and a small
+// universal-relation database.
+func obsServer(t testing.TB, dir string) (*httptest.Server, *Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, err := storage.Open(dir, storage.Options{NoSync: true, CheckpointBytes: -1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	e := New(Options{Store: st, Metrics: reg})
+	if st.Empty() {
+		if _, _, err := e.Apply(storage.Create("a", "b"), storage.Create("b", "c"), storage.Create("c", "d")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Apply(
+			storage.Insert(0, 2, []relation.Tuple{{1, 2}, {3, 2}}),
+			storage.Insert(1, 2, []relation.Tuple{{2, 5}}),
+			storage.Insert(2, 2, []relation.Tuple{{5, 7}, {5, 8}}),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := e.Snapshot()
+	srv := NewServer(e, db.D.U, db.D)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, reg
+}
+
+func scrape(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	series, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape not parseable: %v", err)
+	}
+	return series
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, srv, _ := obsServer(t, t.TempDir())
+
+	// Cold solve, cached solve, parallel solve, and a durable write, so
+	// every major family has observations.
+	var sol SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &sol)
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &sol)
+	post(t, ts.URL+"/solve", `{"x": "ad", "parallelism": 2}`, &sol)
+	var ins MutateResponse
+	post(t, ts.URL+"/insert", `{"rel": "ab", "tuples": [[9,2]]}`, &ins)
+	if err := srv.E.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	series := scrape(t, ts.URL)
+	wantPositive := []string{
+		`gyo_solve_seconds_count{cache="miss",mode="serial"}`,
+		`gyo_solve_seconds_count{cache="hit",mode="serial"}`,
+		`gyo_plan_cache_total{event="miss"}`,
+		`gyo_plan_cache_total{event="hit"}`,
+		`gyo_apply_seconds_count`,
+		`gyo_apply_batch_tuples_count`,
+		`gyo_wal_append_seconds_count`,
+		`gyo_wal_append_bytes_count`,
+		`gyo_checkpoint_seconds_count`,
+		`gyo_checkpoint_bytes_total`,
+		`gyo_snapshot_relations`,
+		`gyo_snapshot_arena_bytes`,
+		`gyo_uptime_seconds`,
+		`gyo_goroutines`,
+	}
+	for _, key := range wantPositive {
+		if v, ok := series[key]; !ok || v <= 0 {
+			t.Errorf("series %s = %v (present=%v), want > 0", key, v, ok)
+		}
+	}
+	// Registered-but-unfired families must still be exposed (at zero),
+	// so dashboards see the full catalog from the first scrape.
+	wantPresent := []string{
+		`gyo_plan_cache_total{event="eviction"}`,
+		// Tiny databases checkpoint through the manifest tail without
+		// filling a single chunk, so the chunk counters may stay zero.
+		`gyo_checkpoint_chunks_total{result="written"}`,
+		`gyo_checkpoint_chunks_total{result="reused"}`,
+		`gyo_checkpoint_failures_total`,
+		`gyo_repartition_bytes_total`,
+	}
+	for _, key := range wantPresent {
+		if _, ok := series[key]; !ok {
+			t.Errorf("series %s missing from scrape", key)
+		}
+	}
+	if series[`gyo_solve_seconds_count{cache="hit",mode="parallel"}`] <= 0 &&
+		series[`gyo_solve_seconds_count{cache="hit",mode="serial"}`] < 2 {
+		t.Error("parallel solve observed in neither parallel nor serial family")
+	}
+}
+
+func TestMetricsGetOnly(t *testing.T) {
+	ts, _, _ := obsServer(t, t.TempDir())
+	resp, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSolveTraceGolden pins the trace contract on the fixed 3-relation
+// chain: the span tree covers exactly the statements of the GYO plan,
+// in plan order, and the per-statement elapsed sum never exceeds the
+// run's total elapsed.
+func TestSolveTraceGolden(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	var plan PlanResponse
+	post(t, ts.URL+"/plan", `{"schema": "ab, bc, cd", "x": "ad"}`, &plan)
+	if len(plan.Stmts) == 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	var sol SolveResponse
+	resp := post(t, ts.URL+"/solve", `{"x": "ad", "trace": true}`, &sol)
+	if sol.Trace == nil {
+		t.Fatal("trace requested but reply has no span tree")
+	}
+	if sol.RequestID == "" || resp.Header.Get("X-Request-Id") != sol.RequestID {
+		t.Errorf("request id body=%q header=%q", sol.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	byID := map[int]*PlanStmt{}
+	for i := range plan.Stmts {
+		byID[plan.Stmts[i].ID] = &plan.Stmts[i]
+	}
+	seen := map[int]int{}
+	sol.Trace.Each(func(sp *program.Span) {
+		seen[sp.ID]++
+		ps, ok := byID[sp.ID]
+		if !ok {
+			t.Errorf("span id %d not in plan", sp.ID)
+			return
+		}
+		if sp.Op != ps.Op || sp.Left != ps.Left || sp.Right != ps.Right {
+			t.Errorf("span %d = (%s %d,%d), plan says (%s %d,%d)",
+				sp.ID, sp.Op, sp.Left, sp.Right, ps.Op, ps.Left, ps.Right)
+		}
+		if sp.Out < 0 || sp.InLeft < 0 {
+			t.Errorf("span %d has negative cardinalities: %+v", sp.ID, sp)
+		}
+	})
+	if len(seen) != len(plan.Stmts) {
+		t.Errorf("trace covers %d statements, plan has %d", len(seen), len(plan.Stmts))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("statement %d appears %d times in the trace tree", id, n)
+		}
+	}
+	if want := plan.Stmts[len(plan.Stmts)-1].ID; sol.Trace.ID != want {
+		t.Errorf("trace root = statement %d, want the final statement %d", sol.Trace.ID, want)
+	}
+	if sum := sol.Trace.ElapsedSum().Nanoseconds(); sum > sol.Stats.ElapsedNs {
+		t.Errorf("span elapsed sum %dns exceeds run elapsed %dns", sum, sol.Stats.ElapsedNs)
+	}
+
+	// The untraced path stays untraced.
+	var plain SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &plain)
+	if plain.Trace != nil {
+		t.Error("untraced reply carries a span tree")
+	}
+	if plain.Card != sol.Card {
+		t.Errorf("traced card %d ≠ untraced card %d", sol.Card, plain.Card)
+	}
+}
+
+// TestSolveTraceParallel checks spans survive the partition-parallel
+// path: the same tree shape, with Shards recorded on fanned statements.
+func TestSolveTraceParallel(t *testing.T) {
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd")
+	e := New(Options{Workers: 4})
+	e.Swap(urdb(d, 7, 4000, 12))
+	srv := NewServer(e, u, d)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var par SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad", "parallelism": 4, "trace": true, "limit": 0}`, &par)
+	if par.Trace == nil {
+		t.Fatal("no trace from parallel solve")
+	}
+	var serial SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad", "trace": true, "limit": 0}`, &serial)
+	if par.Card != serial.Card {
+		t.Fatalf("parallel card %d ≠ serial card %d", par.Card, serial.Card)
+	}
+	spans := 0
+	par.Trace.Each(func(*program.Span) { spans++ })
+	serialSpans := 0
+	serial.Trace.Each(func(*program.Span) { serialSpans++ })
+	if spans != serialSpans {
+		t.Errorf("parallel trace has %d spans, serial %d — same plan must trace identically", spans, serialSpans)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd")
+	e := New(Options{Logf: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	e.Swap(urdb(d, 5, 50, 4))
+	srv := NewServer(e, u, d)
+	srv.SlowQuery = time.Nanosecond // everything is slow
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var sol SolveResponse
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &sol)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow-query log has %d lines, want 1: %q", len(lines), lines)
+	}
+	line := lines[0]
+	for _, frag := range []string{"slow query", "id=" + sol.RequestID, "fp=", "x=ad", "parallelism=1", "top=["} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("slow-query line missing %q: %s", frag, line)
+		}
+	}
+
+	// Below threshold: silent.
+	srv.SlowQuery = time.Hour
+	post(t, ts.URL+"/solve", `{"x": "ad"}`, &sol)
+	if len(lines) != 1 {
+		t.Errorf("fast query logged: %q", lines)
+	}
+}
+
+// TestMetricsScrapeUnderLoad is the -race stress test: concurrent
+// /metrics scrapes against live /solve traffic and direct Engine.Apply
+// writers. Every scrape must parse, and monotone counters must never
+// regress between consecutive scrapes of the same goroutine.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	ts, srv, _ := obsServer(t, t.TempDir())
+
+	monotone := []string{
+		`gyo_solve_seconds_count{cache="hit",mode="serial"}`,
+		`gyo_plan_cache_total{event="hit"}`,
+		`gyo_apply_seconds_count`,
+		`gyo_wal_append_seconds_count`,
+	}
+
+	const iters = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := map[string]float64{}
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					errc <- err
+					return
+				}
+				series, err := obs.ParseText(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- fmt.Errorf("scrape %d unparseable: %w", i, err)
+					return
+				}
+				for _, key := range monotone {
+					if series[key] < last[key] {
+						errc <- fmt.Errorf("scrape %d: %s regressed %v → %v", i, key, last[key], series[key])
+						return
+					}
+					last[key] = series[key]
+				}
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var sol SolveResponse
+				post(t, ts.URL+"/solve", `{"x": "ad", "limit": 0}`, &sol)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			v := 100 + i
+			if _, _, err := srv.E.Apply(storage.Insert(0, 2, []relation.Tuple{{relation.Value(v), relation.Value(v + 1)}})); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// BenchmarkSolveTracedVsUntraced isolates the cost of "trace": true:
+// the untraced path builds no spans (b.ReportAllocs shows zero
+// span-tree allocations added), while the traced path pays one
+// SpanTree construction per request.
+func BenchmarkSolveTracedVsUntraced(b *testing.B) {
+	u := schema.NewUniverse()
+	d := schema.MustParse(u, "ab, bc, cd")
+	e := New(Options{})
+	e.Swap(urdb(d, 5, 2000, 16))
+	x := u.Set("a", "d")
+	if _, _, err := e.Solve(d, x); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.Solve(d, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, st, err := e.Solve(d, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl, err := e.Plan(d, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pl.Prog.SpanTree(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestStatsProcessBlock(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptimeSeconds = %v, want > 0", st.UptimeSeconds)
+	}
+	if st.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", st.Goroutines)
+	}
+	if st.BuildInfo == nil || st.BuildInfo.GoVersion == "" {
+		t.Errorf("buildInfo = %+v, want embedded go version", st.BuildInfo)
+	}
+}

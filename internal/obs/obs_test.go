@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter", "kind", "x")
+	c2 := r.Counter("test_total", "a counter", "kind", "y")
+	g := r.Gauge("test_gauge", "a gauge")
+	r.GaugeFunc("test_fn", "a computed gauge", func() float64 { return 42 })
+
+	c.Add(3)
+	c.Inc()
+	c2.Inc()
+	g.Set(1.5)
+	g.Add(-0.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total a counter\n",
+		"# TYPE test_total counter\n",
+		`test_total{kind="x"} 4` + "\n",
+		`test_total{kind="y"} 1` + "\n",
+		"# TYPE test_gauge gauge\n",
+		"test_gauge 1\n",
+		"test_fn 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	m, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	if m[`test_total{kind="x"}`] != 4 || m["test_fn"] != 42 {
+		t.Errorf("parsed values wrong: %v", m)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.56) > 1e-9 {
+		t.Errorf("Sum = %v, want 5.56", got)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// p50 lands in the (0.01, 0.1] bucket; interpolation keeps it there.
+	if q := h.Quantile(0.5); q <= 0.01 || q > 0.1 {
+		t.Errorf("Quantile(0.5) = %v, want within (0.01, 0.1]", q)
+	}
+	// Observations beyond the last bound report the largest finite bound.
+	if q := h.Quantile(0.999); q != 1 {
+		t.Errorf("Quantile(0.999) = %v, want 1 (largest finite bound)", q)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Error("nil histogram must report zeros")
+	}
+}
+
+func TestHistogramLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	hx := r.Histogram("op_seconds", "op latency", []float64{1}, "op", "x")
+	hy := r.Histogram("op_seconds", "op latency", []float64{1}, "op", "y")
+	hx.Observe(0.5)
+	hy.Observe(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE op_seconds histogram") != 1 {
+		t.Errorf("family header must appear exactly once:\n%s", out)
+	}
+	for _, want := range []string{
+		`op_seconds_bucket{op="x",le="1"} 1`,
+		`op_seconds_bucket{op="y",le="1"} 0`,
+		`op_seconds_bucket{op="y",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	// A nil registry hands out nil (no-op) instruments.
+	if r.Counter("x", "x") != nil || r.Gauge("x", "x") != nil || r.Histogram("x", "x", []float64{1}) != nil {
+		t.Error("nil registry must return nil instruments")
+	}
+	r.GaugeFunc("x", "x", func() float64 { return 1 })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WriteText: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	r.Counter("dup_total", "help")
+}
+
+func TestTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "help", "a", "1")
+	defer func() {
+		if recover() == nil {
+			t.Error("type clash must panic")
+		}
+	}()
+	r.Gauge("clash", "help", "a", "2")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "help", "q", `say "hi"\n`)
+	c.Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{q="say \"hi\"\\n"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+	if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+		t.Errorf("escaped exposition does not parse: %v", err)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_comment 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx 1\nx 2\n", // duplicate series
+		"# TYPE x counter\nx{a=\"b\" 1\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var b strings.Builder
+	WriteSeries(&b, "up_seconds", "process uptime", "gauge", 12.5)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE up_seconds gauge\n") || !strings.Contains(out, "up_seconds 12.5\n") {
+		t.Errorf("WriteSeries output:\n%s", out)
+	}
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Errorf("WriteSeries output does not parse: %v", err)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "help", LatencyBuckets())
+	c := r.Counter("conc_total", "help")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(0.001)
+					c.Inc()
+				}
+			}
+		}()
+	}
+	var lastCount float64
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("scrape %d unparseable: %v", i, err)
+		}
+		if m["conc_seconds_count"] < lastCount {
+			t.Fatalf("scrape %d: histogram count regressed %v -> %v", i, lastCount, m["conc_seconds_count"])
+		}
+		if m["conc_seconds_count"] != m[`conc_seconds_bucket{le="+Inf"}`] {
+			t.Fatalf("scrape %d: count %v != +Inf bucket %v", i,
+				m["conc_seconds_count"], m[`conc_seconds_bucket{le="+Inf"}`])
+		}
+		lastCount = m["conc_seconds_count"]
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -84,6 +84,7 @@ func (p *Program) EvalPar(db *relation.Database, pe *relation.ParExec) (*relatio
 		}
 		parts[id] = pt
 		st.Repartitions++
+		st.RepartitionBytes += pt.Bytes()
 		return pt
 	}
 	setPart := func(id int, pt *relation.Partitioning) {

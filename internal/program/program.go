@@ -149,16 +149,17 @@ type StmtStat struct {
 // cost analyses (semijoin programs are cheap; intermediate joins
 // dominate) directly observable on real runs.
 type Stats struct {
-	TuplesProduced  int        // total output tuples over all statements
-	MaxIntermediate int        // largest single intermediate result
-	PerStmt         []int      // output cardinality of each statement
-	Detail          []StmtStat // per-statement cost breakdown
-	Joins           int
-	Projects        int
-	Semijoins       int
-	ParallelStmts   int           // statements that ran partition-parallel
-	Repartitions    int           // partitionings built (initial or key change)
-	Elapsed         time.Duration // total wall time of the run
+	TuplesProduced   int        // total output tuples over all statements
+	MaxIntermediate  int        // largest single intermediate result
+	PerStmt          []int      // output cardinality of each statement
+	Detail           []StmtStat // per-statement cost breakdown
+	Joins            int
+	Projects         int
+	Semijoins        int
+	ParallelStmts    int           // statements that ran partition-parallel
+	Repartitions     int           // partitionings built (initial or key change)
+	RepartitionBytes int64         // arena bytes moved building those partitionings
+	Elapsed          time.Duration // total wall time of the run
 }
 
 // Table renders the per-statement cost breakdown as an aligned text

@@ -41,6 +41,18 @@ func (pt *Partitioning) Card() int {
 // Attrs returns the attribute set the shards range over.
 func (pt *Partitioning) Attrs() schema.AttrSet { return pt.Shards[0].Attrs() }
 
+// Bytes returns the tuple-arena bytes held across all shards — the
+// data volume that building this partitioning moved (every row lands
+// in exactly one shard), which is what repartition-traffic accounting
+// wants to know.
+func (pt *Partitioning) Bytes() int64 {
+	var n int64
+	for _, sh := range pt.Shards {
+		n += int64(sh.ArenaBytes())
+	}
+	return n
+}
+
 // shardOf maps a key hash to a shard index by multiply-shift on the
 // high 32 bits. The open-addressing tables mask the low bits of row
 // and key hashes, so shard choice and slot choice stay independent —

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"gyokit/internal/obs"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
 )
@@ -68,6 +69,14 @@ type Options struct {
 	// lost (a power failure may drop acknowledged writes); useful for
 	// tests and benchmarks where the page cache is good enough.
 	NoSync bool
+	// Metrics, when non-nil, receives the store's observability
+	// instruments (WAL append latency/bytes histograms, checkpoint
+	// duration, chunk and compaction counters, live-size gauges) under
+	// the gyo_wal_* / gyo_checkpoint_* / gyo_chunk_store_* families.
+	// One store per registry: registering two stores on the same
+	// registry panics on the duplicate series. Nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) segmentBytes() int64 {
@@ -147,6 +156,61 @@ type Store struct {
 
 	db    *relation.Database // recovered state; nil after Detach
 	empty bool               // no checkpoint and no WAL records found
+
+	// Observability instruments (nil — hence no-op — without
+	// Options.Metrics). Unlike the snapshot-style Stats counters these
+	// are event-shaped: histograms observed at append/checkpoint time.
+	mAppendSec    *obs.Histogram // WAL append latency (lock to fsynced)
+	mAppendBytes  *obs.Histogram // framed record size per append
+	mCkptSec      *obs.Histogram // checkpoint write duration
+	mChunksOut    *obs.Counter   // chunk records appended by checkpoints
+	mChunksReused *obs.Counter   // chunk references reused without rewriting
+	mCkptOutBytes *obs.Counter   // cumulative checkpoint I/O bytes
+	mCkptFail     *obs.Counter   // failed checkpoint writes
+	mCompactions  *obs.Counter   // chunk-store GC rewrites
+}
+
+// registerMetrics creates the store's instruments in reg. Gauges pull
+// from live fields under mu at scrape time; histograms and counters
+// are pushed on the write paths.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mAppendSec = reg.Histogram("gyo_wal_append_seconds",
+		"WAL append latency per mutation batch, including fsync.", obs.LatencyBuckets())
+	s.mAppendBytes = reg.Histogram("gyo_wal_append_bytes",
+		"Framed WAL record size per appended batch.", obs.SizeBuckets(64, 4, 12))
+	s.mCkptSec = reg.Histogram("gyo_checkpoint_seconds",
+		"Checkpoint write duration (chunk appends + manifest rename).", obs.LatencyBuckets())
+	s.mChunksOut = reg.Counter("gyo_checkpoint_chunks_total",
+		"Chunk records written to or reused from the chunk store by checkpoints.", "result", "written")
+	s.mChunksReused = reg.Counter("gyo_checkpoint_chunks_total",
+		"Chunk records written to or reused from the chunk store by checkpoints.", "result", "reused")
+	s.mCkptOutBytes = reg.Counter("gyo_checkpoint_bytes_total",
+		"Cumulative bytes written by checkpoints (chunks + manifests).")
+	s.mCkptFail = reg.Counter("gyo_checkpoint_failures_total",
+		"Checkpoint writes that failed (see /stats lastCheckpointError).")
+	s.mCompactions = reg.Counter("gyo_compactions_total",
+		"Chunk-store GC rewrites into a fresh generation.")
+	reg.GaugeFunc("gyo_wal_bytes",
+		"Live WAL bytes across segments (replayed at next recovery).", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.walBytes)
+		})
+	reg.GaugeFunc("gyo_wal_segments",
+		"Live WAL segment files.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.segSizes))
+		})
+	reg.GaugeFunc("gyo_chunk_store_bytes",
+		"Current chunk-store file size.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.chunkBytes)
+		})
 }
 
 func segName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
@@ -408,6 +472,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	s.db = db
 	s.empty = !ckptLoaded && s.replayed == 0
 	s.lockf = lockf
+	s.registerMetrics(opt.Metrics)
 	opened = true
 	return s, nil
 }
@@ -434,6 +499,7 @@ func (s *Store) Append(muts []Mutation) error {
 	if len(muts) == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	// Everything acknowledged must decode on replay: enforce the
 	// codec's caps before anything reaches the file, so recovery can
 	// treat an undecodable record as corruption/tearing, never as a
@@ -504,6 +570,8 @@ func (s *Store) Append(muts []Mutation) error {
 	s.segSizes[s.segSeq] += int64(len(frame))
 	s.walBytes += int64(len(frame))
 	s.appends++
+	s.mAppendSec.Observe(time.Since(t0).Seconds())
+	s.mAppendBytes.Observe(float64(len(frame)))
 	return nil
 }
 
@@ -625,6 +693,7 @@ func (s *Store) BeginCheckpoint() (uint64, error) {
 // guarantees id ⇒ identical bytes); it is only read. Failures are
 // additionally recorded in Stats.
 func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
+	t0 := time.Now()
 	var written, reused uint64
 	var bytesOut int64
 	compacted := false
@@ -645,6 +714,17 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 			s.lastCkpt = time.Now()
 		}
 		s.mu.Unlock()
+		if err != nil {
+			s.mCkptFail.Inc()
+			return
+		}
+		s.mCkptSec.Observe(time.Since(t0).Seconds())
+		s.mChunksOut.Add(written)
+		s.mChunksReused.Add(reused)
+		s.mCkptOutBytes.Add(uint64(bytesOut))
+		if compacted {
+			s.mCompactions.Inc()
+		}
 	}()
 
 	s.ckptFileMu.Lock()
