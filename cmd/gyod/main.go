@@ -9,25 +9,41 @@
 //
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
 //	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-compactbytes N] [-nosync]
-//	     [-pprof] [-slowquery 1s]
+//	     [-pprof] [-slowquery 1s] [-gas 1000000] [-querytimeout 10s]
 //
-// Endpoints (JSON in/out):
+// Endpoints (JSON in/out, versioned under /v1):
 //
-//	POST /classify  {"schema": "ab, bc, cd"}
-//	POST /plan      {"schema": "ab, bc, cd", "x": "ad"}
-//	POST /solve     {"x": "ad", "parallelism"?: 4}   evaluate on the server database
-//	POST /insert    {"rel": "ab", "tuples": [[1,2]]} durable insert batch
-//	POST /delete    {"rel": "ab", "tuples": [[1,2]]} durable delete batch
-//	POST /load      {"relations": [...]}             bulk ingest, one atomic batch
-//	GET  /stats     engine counters, per-relation cardinalities, durability, build info
-//	GET  /metrics   Prometheus text exposition (solve latency, plan cache, WAL, checkpoints)
-//	GET  /healthz
+//	POST /v1/classify  {"schema": "ab, bc, cd"}
+//	POST /v1/plan      {"schema": "ab, bc, cd", "x": "ad"}
+//	POST /v1/solve     {"x": "ad", "parallelism"?: 4}   evaluate on the server database
+//	POST /v1/query     {"query": "ans(X,Z) :- ab(X,Y), bc(Y,Z)."}  conjunctive query,
+//	                   free-connex-aware planning; also accepts a text/plain body
+//	POST /v1/insert    {"rel": "ab", "tuples": [[1,2]]} durable insert batch
+//	POST /v1/delete    {"rel": "ab", "tuples": [[1,2]]} durable delete batch
+//	POST /v1/load      {"relations": [...]}             bulk ingest, one atomic batch
+//	GET  /v1/stats     engine counters, per-relation cardinalities, durability, build info
+//	GET  /v1/metrics   Prometheus text exposition (solve latency, plan cache, WAL, checkpoints)
+//	GET  /v1/healthz
 //
-// Observability: every /solve reply carries a server-generated request
-// id (X-Request-Id header and body); requests slower than -slowquery
-// are logged with that id, the query fingerprint, and the top-3 most
-// expensive statements. -pprof additionally serves net/http/pprof
-// under /debug/pprof/ (off by default).
+// The pre-versioning paths (/solve, /classify, ...) still work as
+// deprecated aliases of their /v1 successors: identical responses plus
+// a "Deprecation: true" header and a Link header naming the successor.
+// /v1/query is new in /v1 and has no legacy alias. Errors on every
+// endpoint share one JSON envelope:
+// {"error": {"code", "message", "requestId"}}.
+//
+// /v1/query runs under two per-request rails: -gas caps the tuples one
+// evaluation may produce across all program statements (exceeding it
+// returns HTTP 429, code resource_exhausted) and -querytimeout bounds
+// its wall-clock time (HTTP 504, code deadline_exceeded). Clients may
+// tighten the deadline per request ("timeoutMs") but never loosen it.
+//
+// Observability: every reply carries a server-generated request id
+// (X-Request-Id header, echoed in /v1/solve and /v1/query bodies and
+// in error envelopes); requests slower than -slowquery are logged with
+// that id, the query fingerprint, and the top-3 most expensive
+// statements. -pprof additionally serves net/http/pprof under
+// /debug/pprof/ (off by default).
 //
 // With -data DIR, the directory's recovered state is served (the
 // -schema/-tuples generator only seeds a fresh directory, through the
@@ -41,9 +57,10 @@
 // Example:
 //
 //	gyod -schema "ab, bc, cd" -tuples 1000 -data /var/lib/gyod &
-//	curl -s localhost:8080/insert -d '{"rel": "ab", "tuples": [[7,8]]}'
+//	curl -s localhost:8080/v1/insert -H 'content-type: application/json' -d '{"rel": "ab", "tuples": [[7,8]]}'
 //	kill -9 %1; gyod -data /var/lib/gyod &          # recovers, [7,8] still there
-//	curl -s localhost:8080/solve -d '{"x": "ad"}'
+//	curl -s localhost:8080/v1/solve -H 'content-type: application/json' -d '{"x": "ad"}'
+//	curl -s localhost:8080/v1/query -H 'content-type: text/plain' -d 'ans(A, D) :- ab(A, B), bc(B, C), cd(C, D).'
 package main
 
 import (
@@ -88,7 +105,9 @@ func run() error {
 	compactBytes := flag.Int64("compactbytes", storage.DefaultCompactBytes, "chunk-store bytes past which checkpoint GC may compact (negative disables)")
 	noSync := flag.Bool("nosync", false, "skip fsync on WAL appends (faster, loses crash durability)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default: exposes stacks and heap contents)")
-	slowQuery := flag.Duration("slowquery", time.Second, "log /solve requests slower than this (0 disables)")
+	slowQuery := flag.Duration("slowquery", time.Second, "log /v1/solve and /v1/query requests slower than this (0 disables)")
+	gas := flag.Int("gas", 1000000, "per-query gas budget: tuples one /v1/query evaluation may produce (0 disables)")
+	queryTimeout := flag.Duration("querytimeout", 10*time.Second, "per-query deadline for /v1/query (0 disables)")
 	flag.Parse()
 
 	// One registry spans engine and store, so GET /metrics is the whole
@@ -152,6 +171,8 @@ func run() error {
 
 	srv := engine.NewServer(e, u, d)
 	srv.SlowQuery = *slowQuery
+	srv.Gas = *gas
+	srv.QueryTimeout = *queryTimeout
 	handler := srv.Handler()
 	if *pprofOn {
 		// pprof mounts on its own mux in front of the API: the DefaultServeMux

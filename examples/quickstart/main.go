@@ -78,6 +78,40 @@ func main() {
 	}
 	fmt.Printf("\ntrace of [%s] (%d tuples, %v):\n", u.FormatSet(x), sol.Card(), st.Elapsed)
 	printSpan(root, "  ")
+
+	// The same question as a conjunctive query. Predicates address stored
+	// relations by attribute set (abc → attributes a, b, c), the head
+	// names the output variables, and the compiler classifies the
+	// hypergraph: here the head {A, F} sits inside the afe atom, so the
+	// query is free-connex and the Yannakakis plan roots there, keeping
+	// every intermediate within atom width. Over HTTP the same text goes
+	// to POST /v1/query.
+	const text = "ans(A, F) :- abc(A, B, C), cde(C, D, E), ace(A, C, E), afe(A, F, E)."
+	cc, err := gyokit.CompileCQ(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconjunctive query: %s\n  kind: %s (reduction rooted at %s)\n",
+		cc.Canonical, cc.Kind, cc.Atoms[cc.Root].Pred)
+
+	qpl, err := e.PrepareQuery(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qout, _, err := e.SolveQuery(qpl, 1, program.Limits{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  answer: %d tuples (attribute-set solve agrees: %v)\n",
+		qout.Card(), qout.Card() == sol.Card())
+
+	// Evaluation runs on rails: a gas budget (total tuples produced) and
+	// a deadline, both checked at statement boundaries. A tripped rail
+	// returns a typed error and no partial state — gyod exposes them as
+	// -gas and -querytimeout.
+	if _, _, err := e.SolveQuery(qpl, 1, program.Limits{MaxTuples: 1}); err != nil {
+		fmt.Printf("  under a 1-tuple gas budget: %v\n", err)
+	}
 }
 
 func printSpan(s *program.Span, indent string) {

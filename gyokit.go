@@ -80,6 +80,7 @@ import (
 	"math/rand"
 
 	"gyokit/internal/core"
+	"gyokit/internal/cq"
 	"gyokit/internal/engine"
 	"gyokit/internal/gamma"
 	"gyokit/internal/graph"
@@ -154,6 +155,18 @@ type (
 	EngineServer = engine.Server
 )
 
+// Conjunctive-query front end (internal/cq).
+type (
+	// CQ is a parsed conjunctive query in the Datalog-style grammar,
+	// e.g. "ans(X, Z) :- r(X, Y), s(Y, Z).".
+	CQ = cq.Query
+	// CompiledCQ is a classified, planned conjunctive query: hypergraph,
+	// free-connex/acyclic/cyclic kind, and the compiled program.
+	CompiledCQ = cq.Compiled
+	// CQKind labels a compiled query's planning class.
+	CQKind = cq.Kind
+)
+
 // Analysis result types.
 type (
 	// Classification is the §3 status of a schema.
@@ -189,6 +202,16 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 func NewEngineServer(e *Engine, u *Universe, d *Schema) *EngineServer {
 	return engine.NewServer(e, u, d)
 }
+
+// ParseCQ parses a conjunctive query, e.g.
+// "ans(X, Z) :- r(X, Y), s(Y, Z).". Errors carry line:column positions.
+func ParseCQ(text string) (*CQ, error) { return cq.Parse(text) }
+
+// CompileCQ parses, classifies, and plans a conjunctive query:
+// free-connex queries get a rooted Yannakakis program with projections
+// pushed below the semijoins, acyclic queries the standard Yannakakis
+// program, cyclic queries a reduce-then-join fallback.
+func CompileCQ(text string) (*CompiledCQ, error) { return cq.Compile(text) }
 
 // NewSchema returns a schema over u with the given relation schemas.
 func NewSchema(u *Universe, rels ...AttrSet) *Schema { return schema.New(u, rels...) }

@@ -1,0 +1,289 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"gyokit/internal/core"
+	"gyokit/internal/gyo"
+	"gyokit/internal/program"
+	"gyokit/internal/schema"
+)
+
+// Kind classifies a compiled query's plan shape.
+type Kind int
+
+const (
+	// KindFreeConnex: the query hypergraph is a tree schema AND stays
+	// one with the head variables added as an extra hyperedge. The plan
+	// is Yannakakis rooted at the atom covering the most head variables,
+	// so every projection pushes below the semijoin program and no
+	// intermediate materializes the full join.
+	KindFreeConnex Kind = iota
+	// KindAcyclic: a tree schema, but projecting onto the head breaks
+	// the tree (the classic π_{x,z}(R(x,y) ⋈ S(y,z))). Plain Yannakakis:
+	// still semijoin-reduced, but the root's joins may exceed the head.
+	KindAcyclic
+	// KindCyclic: the hypergraph is cyclic; the plan reduces each atom
+	// to its live variables, joins in greedy shared-attribute order, and
+	// projects onto the head.
+	KindCyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFreeConnex:
+		return "free-connex"
+	case KindAcyclic:
+		return "acyclic"
+	case KindCyclic:
+		return "cyclic"
+	default:
+		return "invalid"
+	}
+}
+
+// AtomBinding records how one body atom addresses storage: the
+// predicate as written, the stored attribute names it denotes (in
+// written order), and the variable bound at each position. The engine
+// resolves Attrs against its serving universe at evaluation time — the
+// compiled query itself is schema-independent, so the plan cache never
+// needs invalidating on schema change.
+type AtomBinding struct {
+	Pred  string
+	Attrs []string      // stored attribute names, in the predicate's written order
+	Vars  []schema.Attr // query-universe variable ids, positionally aligned with Attrs
+}
+
+// Compiled is a fully planned conjunctive query. It is immutable once
+// built and safe to share across concurrent evaluations.
+type Compiled struct {
+	Query     *Query
+	Canonical string           // canonical text; the cache identity
+	U         *schema.Universe // per-query variable universe
+	D         *schema.Schema   // query hypergraph: one variable set per body atom
+	Head      schema.AttrSet   // output variables as a set
+	HeadVars  []string         // head variables in written order (the response column order)
+	HeadIDs   []schema.Attr    // ids of HeadVars, positionally aligned
+	Kind      Kind
+	Root      int // Yannakakis reduction root (-1 for cyclic plans)
+	Cls       *core.Classification
+	Prog      *program.Program // solves (D, Head) over per-atom states
+	Atoms     []AtomBinding    // one per body atom, aligned with D.Rels
+}
+
+// Compile parses and compiles one query text.
+func Compile(text string) (*Compiled, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return q.Compile()
+}
+
+// Compile builds the query's hypergraph over a fresh variable universe,
+// classifies it through the GYO machinery, and plans it:
+//
+//   - free-connex (the hypergraph plus the head-variable hyperedge is
+//     still a tree schema): Yannakakis rooted at the atom covering the
+//     most head variables, so projections push below the semijoin
+//     program;
+//   - acyclic but not free-connex: plain Yannakakis;
+//   - cyclic: reduce each atom to its live variables, join greedily,
+//     project onto the head.
+func (q *Query) Compile() (*Compiled, error) {
+	u := schema.NewUniverse()
+	d := schema.New(u)
+	atoms := make([]AtomBinding, len(q.Body))
+	for i := range q.Body {
+		a := &q.Body[i]
+		names, err := predAttrs(a)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) != len(a.Args) {
+			return nil, errAt(a.Pos, "predicate %q has %d attributes (%s) but %d arguments",
+				a.Pred, len(names), strings.Join(names, ", "), len(a.Args))
+		}
+		vars := make([]schema.Attr, len(a.Args))
+		var set schema.AttrSet
+		for p, v := range a.Args {
+			id := u.Attr(v.Name)
+			vars[p] = id
+			set = set.Add(id)
+		}
+		d.Add(set)
+		atoms[i] = AtomBinding{Pred: a.Pred, Attrs: names, Vars: vars}
+	}
+	headIDs := make([]schema.Attr, len(q.Head.Args))
+	headVars := make([]string, len(q.Head.Args))
+	var head schema.AttrSet
+	for p, v := range q.Head.Args {
+		id, ok := u.Lookup(v.Name)
+		if !ok {
+			// validate() guarantees safety; belt and braces.
+			return nil, errAt(v.Pos, "unsafe head variable %s", v.Name)
+		}
+		headIDs[p] = id
+		headVars[p] = v.Name
+		head = head.Add(id)
+	}
+	c := &Compiled{
+		Query:     q,
+		Canonical: q.String(),
+		U:         u,
+		D:         d,
+		Head:      head,
+		HeadVars:  headVars,
+		HeadIDs:   headIDs,
+		Atoms:     atoms,
+	}
+	if err := c.plan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// predAttrs maps a predicate name to the attribute names of the stored
+// relation it addresses, mirroring the schema parser's two styles: a
+// name without underscores is the paper's compact style (one
+// single-rune attribute per rune: "ab" → a, b), and underscores play
+// the role of the schema text's spaces ("user_id" → user, id).
+func predAttrs(a *Atom) ([]string, error) {
+	var names []string
+	if strings.Contains(a.Pred, "_") {
+		for _, f := range strings.Split(a.Pred, "_") {
+			if f == "" {
+				return nil, errAt(a.Pos, "bad predicate %q: empty attribute name around \"_\"", a.Pred)
+			}
+			names = append(names, f)
+		}
+	} else {
+		for _, r := range a.Pred {
+			names = append(names, string(r))
+		}
+	}
+	for i, n := range names {
+		for j := 0; j < i; j++ {
+			if names[j] == n {
+				return nil, errAt(a.Pos, "predicate %q repeats attribute %q", a.Pred, n)
+			}
+		}
+	}
+	return names, nil
+}
+
+// plan classifies the hypergraph and builds the program.
+func (c *Compiled) plan() error {
+	cls, err := core.Classify(c.D)
+	if err != nil {
+		return err
+	}
+	c.Cls = cls
+	switch {
+	case cls.Tree && gyo.IsTree(c.D.WithRel(c.Head)):
+		c.Kind = KindFreeConnex
+		c.Root = freeConnexRoot(c.D, c.Head)
+		c.Prog, err = program.YannakakisRooted(c.D, c.Head, cls.QualTree, c.Root)
+	case cls.Tree:
+		c.Kind = KindAcyclic
+		c.Root = 0
+		c.Prog, err = program.Yannakakis(c.D, c.Head, cls.QualTree)
+	default:
+		c.Kind = KindCyclic
+		c.Root = -1
+		c.Prog, err = cyclicFallback(c.D, c.Head)
+	}
+	return err
+}
+
+// freeConnexRoot picks the Yannakakis reduction root for a free-connex
+// query: the atom covering the most head variables (lowest index on
+// ties). Rooting there is what makes free-connex pay off — every
+// non-root node projects down to its subtree's head variables plus the
+// parent link before its parent joins it, so the join widths are
+// bounded by atom ∪ head widths instead of growing toward the full
+// join.
+func freeConnexRoot(d *schema.Schema, head schema.AttrSet) int {
+	best, bestCover := 0, -1
+	for i, r := range d.Rels {
+		if cov := r.IntersectCard(head); cov > bestCover {
+			best, bestCover = i, cov
+		}
+	}
+	return best
+}
+
+// cyclicFallback is the reduce-then-join-then-project plan for cyclic
+// hypergraphs: each atom is pre-projected onto its live variables (head
+// variables plus variables shared with another atom — a variable seen
+// by exactly one atom and absent from the head cannot influence the
+// answer beyond existence, which the join preserves), the projections
+// are joined in greedy shared-attribute order, and the result is
+// projected onto the head.
+func cyclicFallback(d *schema.Schema, head schema.AttrSet) (*program.Program, error) {
+	occ := d.AttrOccurrences()
+	live := head.Clone()
+	for a, n := range occ {
+		if n > 1 {
+			live = live.Add(schema.Attr(a))
+		}
+	}
+	inputs := make([]program.InputRef, len(d.Rels))
+	pd := schema.New(d.U)
+	idx := make([]int, len(d.Rels))
+	for i, r := range d.Rels {
+		idx[i] = i
+		keep := r.Intersect(live)
+		if keep.IsEmpty() || keep.Equal(r) {
+			// All-dead atoms stay whole: they are pure existence filters,
+			// and a zero-width intermediate buys nothing.
+			inputs[i] = program.InputRef{Rel: i}
+			pd.Add(r)
+			continue
+		}
+		inputs[i] = program.InputRef{Rel: i, Proj: keep}
+		pd.Add(keep)
+	}
+	order := program.GreedyJoinOrder(pd, idx)
+	return program.JoinProjectOrdered(d, head, inputs, order)
+}
+
+// Fingerprint hashes a canonical query text into the 128-bit key the
+// engine's plan cache uses: two independent 64-bit FNV-1a streams over
+// the text, each passed through a splitmix-style finalizer. The key is
+// probabilistic — cache hits are verified by comparing canonical texts,
+// so a collision degrades to a miss, never to a wrong plan.
+func Fingerprint(canonical string) (a, b uint64) {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	a, b = offset64, offset64^0x9e3779b97f4a7c15
+	for i := 0; i < len(canonical); i++ {
+		c := uint64(canonical[i])
+		a = (a ^ c) * prime64
+		b = (b ^ c) * prime64
+	}
+	return fpFinal(a), fpFinal(b)
+}
+
+// fpFinal is the splitmix64 finalizer: full-avalanche mixing so related
+// texts land in unrelated cache slots.
+func fpFinal(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// MustCompile is Compile that panics on error; for tests and examples.
+func MustCompile(text string) *Compiled {
+	c, err := Compile(text)
+	if err != nil {
+		panic(fmt.Sprintf("cq: %v", err))
+	}
+	return c
+}

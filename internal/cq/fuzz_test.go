@@ -1,0 +1,44 @@
+package cq
+
+import "testing"
+
+// FuzzParseCQ asserts the parse → format → parse fixpoint: any text the
+// parser accepts must render to a canonical form the parser accepts
+// again, and that canonical form must be stable. This pins down both
+// directions of the grammar at once — the lexer/parser never accepts
+// something String() cannot reproduce, and String() never emits
+// something Parse rejects.
+func FuzzParseCQ(f *testing.F) {
+	seeds := []string{
+		"ans(X, Z) :- ab(X, Y), bc(Y, Z).",
+		"ans(X):-a(X).",
+		"t(A,B,C) :- ab(A,B), bc(B,C), ca(C,A).",
+		"out(V) :- user_id(U, V).",
+		"self(X, Z) :- ab(X, Y), ab(Y, Z).",
+		"ans(Y) :- r(X).",
+		"Ans(X) :- r(X).",
+		"ans(X) :- r(X, X).",
+		"ans(X) :- r(1).",
+		"ans(X) :- r(X)",
+		":- r(X).",
+		"ans(X) :- r(X). junk",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form of accepted input does not re-parse:\ninput %q\ncanon %q\nerr   %v",
+				text, canon, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint:\ninput %q\ncanon %q\nre    %q", text, canon, got)
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"gyokit/internal/core"
+	"gyokit/internal/cq"
 	"gyokit/internal/obs"
 	"gyokit/internal/program"
 	"gyokit/internal/relation"
@@ -92,6 +93,11 @@ type Plan struct {
 	// Prog solves (D, X): Yannakakis on tree schemas, the §4 cyclic
 	// strategy otherwise.
 	Prog *program.Program
+	// CQ, when non-nil, marks the plan as a prepared conjunctive query
+	// (built by PrepareQuery): D and X are over the query's variable
+	// universe, and evaluation binds the atoms to stored relations by
+	// name at solve time (SolveQuery).
+	CQ *cq.Compiled
 }
 
 // Stats is a point-in-time snapshot of engine counters.

@@ -22,6 +22,9 @@ type engineMetrics struct {
 
 	repartitions     *obs.Counter // partitionings built by parallel runs
 	repartitionBytes *obs.Counter // arena bytes those partitionings moved
+
+	cqPlans   map[string]*obs.Counter // compiled conjunctive queries by plan kind
+	cqLimited map[string]*obs.Counter // query evaluations aborted by a resource rail
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -33,6 +36,16 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	const planHelp = "Plan-cache events: hits served, misses compiled, LRU evictions."
 	plan := func(event string) *obs.Counter {
 		return reg.Counter("gyo_plan_cache_total", planHelp, "event", event)
+	}
+	const cqHelp = "Conjunctive queries compiled, by plan kind."
+	cqPlans := make(map[string]*obs.Counter, 3)
+	for _, kind := range []string{"free-connex", "acyclic", "cyclic"} {
+		cqPlans[kind] = reg.Counter("gyo_cq_plans_total", cqHelp, "kind", kind)
+	}
+	const limHelp = "Query evaluations aborted by a resource rail (gas budget or deadline)."
+	cqLimited := make(map[string]*obs.Counter, 2)
+	for _, reason := range []string{"gas", "deadline"} {
+		cqLimited[reason] = reg.Counter("gyo_cq_limited_total", limHelp, "reason", reason)
 	}
 	return engineMetrics{
 		solve: [2][2]*obs.Histogram{
@@ -51,6 +64,8 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			"Partitionings built during parallel evaluation (initial or key change)."),
 		repartitionBytes: reg.Counter("gyo_repartition_bytes_total",
 			"Arena bytes moved building those partitionings — the would-be network traffic of a distributed run."),
+		cqPlans:   cqPlans,
+		cqLimited: cqLimited,
 	}
 }
 

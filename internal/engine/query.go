@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gyokit/internal/cq"
+	"gyokit/internal/program"
+	"gyokit/internal/relation"
+	"gyokit/internal/schema"
+)
+
+// PrepareQuery parses, classifies, and plans a conjunctive query (see
+// internal/cq for the grammar), caching the compiled plan in the same
+// LRU the schema-set path uses. The cache key is a fingerprint of the
+// query's canonical text, so whitespace variants of one query share an
+// entry; hits are verified by comparing canonical texts, so a
+// fingerprint collision degrades to a miss, never to a wrong plan.
+//
+// The compiled plan is schema-independent — atoms bind to stored
+// relations by name at solve time — so cached query plans never go
+// stale when the serving snapshot changes.
+func (e *Engine) PrepareQuery(text string) (*Plan, error) {
+	q, err := cq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	canonical := q.String()
+	a, b := cq.Fingerprint(canonical)
+	key := cacheKey{schemaFP: a, targetFP: b}
+	if e.cache != nil {
+		e.mu.Lock()
+		pl, ok := e.cache.get(key)
+		e.mu.Unlock()
+		if ok && pl.CQ != nil && pl.CQ.Canonical == canonical {
+			e.hits.Add(1)
+			e.m.planHits.Inc()
+			return pl, nil
+		}
+	}
+	e.misses.Add(1)
+	e.m.planMisses.Inc()
+	c, err := q.Compile()
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{D: c.D, X: c.Head, Cls: c.Cls, Prog: c.Prog, CQ: c}
+	e.storePlan(key, pl)
+	if ctr := e.m.cqPlans[c.Kind.String()]; ctr != nil {
+		ctr.Inc()
+	}
+	return pl, nil
+}
+
+// SolveQuery evaluates a prepared conjunctive query (a PrepareQuery
+// plan) against the current snapshot: each atom is resolved against the
+// serving schema by attribute name (lookup only — client queries never
+// grow the serving universe) and rebound to the query's variable
+// vocabulary, then the compiled program runs under lim with the given
+// parallelism (clamped to the engine's worker cap). A limit violation
+// returns a *program.LimitError matching program.ErrGasExhausted or
+// program.ErrDeadlineExceeded.
+func (e *Engine) SolveQuery(pl *Plan, parallelism int, lim program.Limits) (*relation.Relation, *program.Stats, error) {
+	if pl == nil || pl.CQ == nil {
+		return nil, nil, fmt.Errorf("engine: plan is not a prepared query (use PrepareQuery)")
+	}
+	db := e.db.Load()
+	if db == nil {
+		return nil, nil, fmt.Errorf("engine: no database snapshot installed (call Swap first)")
+	}
+	qdb, err := bindQuery(pl.CQ, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	parallelism = e.ClampParallelism(parallelism)
+	t0 := time.Now()
+	var out *relation.Relation
+	var st *program.Stats
+	if parallelism <= 1 {
+		ex := e.execs.Get().(*relation.Exec)
+		out, st, err = pl.Prog.EvalExecLimits(qdb, ex, lim)
+		e.execs.Put(ex)
+	} else {
+		pe := e.pexecs.Get().(*relation.ParExec)
+		pe.Resize(parallelism)
+		out, st, err = pl.Prog.EvalParLimits(qdb, pe, lim)
+		e.pexecs.Put(pe)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, program.ErrGasExhausted):
+			e.m.cqLimited["gas"].Inc()
+		case errors.Is(err, program.ErrDeadlineExceeded):
+			e.m.cqLimited["deadline"].Inc()
+		}
+		return nil, nil, err
+	}
+	e.evals.Add(1)
+	if parallelism > 1 {
+		e.parEvals.Add(1)
+		e.m.repartitions.Add(uint64(st.Repartitions))
+		e.m.repartitionBytes.Add(uint64(st.RepartitionBytes))
+	}
+	e.m.solveHist(true, parallelism > 1).Observe(time.Since(t0).Seconds())
+	return out, st, nil
+}
+
+// bindQuery builds the per-query database the compiled program runs
+// over: for each body atom, the stored relation its predicate denotes,
+// renamed onto the query's variable universe. Resolution is by name
+// against the snapshot's universe, lookup only.
+func bindQuery(c *cq.Compiled, db *relation.Database) (*relation.Database, error) {
+	su := db.D.U
+	rels := make([]*relation.Relation, len(c.Atoms))
+	for i := range c.Atoms {
+		at := &c.Atoms[i]
+		ids := make([]schema.Attr, len(at.Attrs))
+		var set schema.AttrSet
+		for p, name := range at.Attrs {
+			id, ok := su.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: atom %s: attribute %q not in serving schema", at.Pred, name)
+			}
+			ids[p] = id
+			set = set.Add(id)
+		}
+		idx := -1
+		for j, r := range db.D.Rels {
+			if r.Equal(set) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: relation %q not in serving schema %s", at.Pred, db.D)
+		}
+		stored := db.Rels[idx]
+		// src[k] is the stored column feeding query column k. Query
+		// columns are the atom's variables in sorted-id order; the
+		// variable at predicate position p binds serving attribute
+		// ids[p], stored at that attribute's sorted position.
+		qcols := c.D.Rels[i].Attrs()
+		scols := stored.Cols()
+		src := make([]int, len(qcols))
+		for k, v := range qcols {
+			p := indexOfAttr(at.Vars, v)
+			src[k] = indexOfAttr(scols, ids[p])
+		}
+		rels[i] = stored.Renamed(c.U, c.D.Rels[i], src)
+	}
+	return &relation.Database{D: c.D, Rels: rels}, nil
+}
+
+// indexOfAttr returns the position of a in list (which always contains
+// it by construction).
+func indexOfAttr(list []schema.Attr, a schema.Attr) int {
+	for i, v := range list {
+		if v == a {
+			return i
+		}
+	}
+	panic("engine: attribute not in binding")
+}

@@ -4,112 +4,191 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
+	"gyokit/internal/cq"
 	"gyokit/internal/program"
 	"gyokit/internal/relation"
 	"gyokit/internal/schema"
 	"gyokit/internal/storage"
 )
 
-// Server exposes an Engine over HTTP — the gyod API. The read side
-// mirrors the paper's pipeline:
+// Server exposes an Engine over HTTP — the gyod API. Endpoints live
+// under the versioned prefix /v1; the read side mirrors the paper's
+// pipeline:
 //
-//	POST /classify  {"schema": "ab, bc, cd"}           §3 classification
-//	POST /plan      {"schema": "...", "x": "ad"}       compiled §4/§6 program
-//	POST /solve     {"x": "ad", "schema"?, "limit"?,   evaluate on the snapshot
-//	                 "parallelism"?}                    (shards per statement)
+//	POST /v1/classify  {"schema": "ab, bc, cd"}           §3 classification
+//	POST /v1/plan      {"schema": "...", "x": "ad"}       compiled §4/§6 program
+//	POST /v1/solve     {"x": "ad", "schema"?, "limit"?,   evaluate on the snapshot
+//	                    "parallelism"?}                    (shards per statement)
+//	POST /v1/query     {"query": "ans(X,Z) :- ..."}        conjunctive query with
+//	                    or a text/plain query body          free-connex-aware planning
 //
 // the write side mutates the serving snapshot through the engine's
 // durable Apply path (acknowledged responses are on disk when the
 // engine has a Store):
 //
-//	POST /insert    {"rel": "ab", "tuples": [[1,2]]}   insert a tuple batch
-//	POST /delete    {"rel": "ab", "tuples": [[1,2]]}   delete a tuple batch
-//	POST /load      {"relations": [{"rel": ..,         bulk ingest: one atomic
-//	                 "tuples": ..}, ...]}               multi-relation batch
+//	POST /v1/insert    {"rel": "ab", "tuples": [[1,2]]}   insert a tuple batch
+//	POST /v1/delete    {"rel": "ab", "tuples": [[1,2]]}   delete a tuple batch
+//	POST /v1/load      {"relations": [{"rel": ..,         bulk ingest: one atomic
+//	                    "tuples": ..}, ...]}               multi-relation batch
 //
-// plus GET /stats (engine counters, per-relation cardinalities and
-// arena bytes, durability counters, process/build info), GET /metrics
-// (the engine's observability registry in Prometheus text exposition
-// format), and GET /healthz. Every /solve reply carries a
-// server-generated request id in the X-Request-Id header (and the
-// body), the key correlating client reports with the slow-query log;
-// "trace": true adds a per-statement span tree to the reply.
+// plus GET /v1/stats (engine counters, per-relation cardinalities and
+// arena bytes, durability counters, process/build info), GET
+// /v1/metrics (the engine's observability registry in Prometheus text
+// exposition format), and GET /v1/healthz. The unversioned legacy
+// paths (/solve, /classify, ...) remain mounted as deprecated aliases:
+// they serve identical responses plus a "Deprecation: true" header and
+// a Link header naming the successor /v1 route. /v1/query has no
+// legacy alias — it is new in /v1.
 //
-// Client input never grows the serving Universe: /classify and /plan
-// parse into a throwaway per-request universe (the plan cache still
-// hits for repeated request texts, since its fingerprints are
-// name-based), and /solve and the mutation endpoints resolve names
-// against the serving universe by lookup only, rejecting unknown
-// attributes. A client streaming fresh attribute names therefore
-// cannot leak memory into the server. Mutation request bodies are
-// size-capped (MaxBodyBytes, MaxLoadBytes) like every other endpoint.
+// Every reply carries a server-generated request id in the
+// X-Request-Id header; error responses echo it in a uniform JSON
+// envelope {"error": {"code", "message", "requestId"}}, the key
+// correlating client reports with the slow-query log. POST endpoints
+// enforce their method (405 with Allow) and content type (415 on
+// anything but application/json — /v1/query also accepts text/plain).
+//
+// Client input never grows the serving Universe: /v1/classify and
+// /v1/plan parse into a throwaway per-request universe (the plan cache
+// still hits for repeated request texts, since its fingerprints are
+// name-based), /v1/query compiles over its own variable universe, and
+// /v1/solve and the mutation endpoints resolve names against the
+// serving universe by lookup only, rejecting unknown attributes. A
+// client streaming fresh attribute names therefore cannot leak memory
+// into the server. Request bodies are size-capped (MaxBodyBytes,
+// MaxLoadBytes) on every endpoint.
 type Server struct {
 	E *Engine
 	// U is the serving universe: the attribute names of the serving
-	// schema D. /solve requests resolve against it without interning.
+	// schema D. /v1/solve requests resolve against it without interning.
 	U *schema.Universe
-	// D is the serving schema: the default for /solve when the request
-	// omits "schema". May be nil when the server has no database.
+	// D is the serving schema: the default for /v1/solve when the
+	// request omits "schema". May be nil when the server has no
+	// database.
 	D *schema.Schema
-	// MaxTuples caps the tuples echoed by /solve (the cardinality is
-	// always reported in full). Zero means DefaultMaxTuples.
+	// MaxTuples caps the tuples echoed by /v1/solve and /v1/query (the
+	// cardinality is always reported in full). Zero means
+	// DefaultMaxTuples.
 	MaxTuples int
-	// MaxLoadBytes caps the /load request body. Zero means
+	// MaxLoadBytes caps the /v1/load request body. Zero means
 	// DefaultMaxLoadBytes.
 	MaxLoadBytes int64
-	// SlowQuery, when positive, makes /solve log any request whose
-	// end-to-end evaluation exceeds it — request id, query fingerprint,
-	// parallelism, and the top-3 most expensive statements — through the
-	// engine's Logf. Zero disables the slow-query log.
+	// SlowQuery, when positive, makes /v1/solve and /v1/query log any
+	// request whose end-to-end evaluation exceeds it — request id, query
+	// fingerprint, parallelism, and the top-3 most expensive statements
+	// — through the engine's Logf. Zero disables the slow-query log.
 	SlowQuery time.Duration
+	// Gas caps the tuples a single /v1/query evaluation may produce
+	// across all program statements — the multi-tenant rail against a
+	// query whose intermediates explode. Exceeding it aborts the run
+	// with a typed resource_exhausted error (HTTP 429). Zero disables
+	// the gas rail.
+	Gas int
+	// QueryTimeout bounds a single /v1/query evaluation. A client may
+	// lower it per request ("timeoutMs") but never raise it. Hitting
+	// the deadline aborts the run with a typed deadline_exceeded error
+	// (HTTP 504). Zero disables the server-side deadline.
+	QueryTimeout time.Duration
 }
 
-// DefaultMaxTuples is the /solve response tuple cap when Server leaves
-// MaxTuples at zero.
+// DefaultMaxTuples is the /v1/solve and /v1/query response tuple cap
+// when Server leaves MaxTuples at zero.
 const DefaultMaxTuples = 1000
 
 // MaxBodyBytes caps standard JSON request bodies (all endpoints except
-// /load, which has its own configurable bulk cap).
+// /v1/load, which has its own configurable bulk cap).
 const MaxBodyBytes = 1 << 20
 
-// DefaultMaxLoadBytes is the /load body cap when Server leaves
+// DefaultMaxLoadBytes is the /v1/load body cap when Server leaves
 // MaxLoadBytes at zero: bulk ingest gets more room than a point write
 // but is still strictly bounded.
 const DefaultMaxLoadBytes = 32 << 20
 
 // NewServer returns a Server over e. d (with its universe u) is the
-// serving schema backing /solve; it may be nil for a planning-only
+// serving schema backing /v1/solve; it may be nil for a planning-only
 // server.
 func NewServer(e *Engine, u *schema.Universe, d *schema.Schema) *Server {
 	return &Server{E: e, U: u, D: d}
 }
 
-// Handler returns the HTTP handler serving the gyod API.
+// Handler returns the HTTP handler serving the gyod API: every
+// endpoint under /v1, the pre-versioning paths as deprecated aliases,
+// and a request-id middleware wrapping the whole tree so every reply —
+// success or error, any route — carries X-Request-Id.
 func (s *Server) Handler() http.Handler {
+	routes := []struct {
+		name   string
+		h      http.HandlerFunc
+		legacy bool // mount an unversioned deprecated alias
+	}{
+		{"classify", s.handleClassify, true},
+		{"plan", s.handlePlan, true},
+		{"solve", s.handleSolve, true},
+		{"query", s.handleQuery, false}, // new in /v1, no legacy path
+		{"insert", s.handleInsert, true},
+		{"delete", s.handleDelete, true},
+		{"load", s.handleLoad, true},
+		{"stats", s.handleStats, true},
+		{"metrics", s.handleMetrics, true},
+		{"healthz", s.handleHealthz, true},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/classify", s.handleClassify)
-	mux.HandleFunc("/plan", s.handlePlan)
-	mux.HandleFunc("/solve", s.handleSolve)
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/delete", s.handleDelete)
-	mux.HandleFunc("/load", s.handleLoad)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	for _, rt := range routes {
+		v1 := "/v1/" + rt.name
+		mux.Handle(v1, rt.h)
+		if rt.legacy {
+			mux.Handle("/"+rt.name, deprecatedAlias(v1, rt.h))
+		}
+	}
+	return withRequestID(mux)
+}
+
+// withRequestID stamps every response with a process-unique request id
+// before the handler runs, so handlers and writeError read it back
+// from the response headers (requestID) rather than threading it
+// through every call.
+func withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-Id", newRequestID())
+		h.ServeHTTP(w, r)
 	})
-	return mux
+}
+
+// requestID reads back the id stamped by withRequestID.
+func requestID(w http.ResponseWriter) string {
+	return w.Header().Get("X-Request-Id")
+}
+
+// deprecatedAlias serves h unchanged while marking the route
+// deprecated: a "Deprecation: true" header (draft-ietf-httpapi
+// convention) plus a Link header naming the successor /v1 route.
+func deprecatedAlias(successor string, h http.Handler) http.Handler {
+	link := fmt.Sprintf("<%s>; rel=\"successor-version\"", successor)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", link)
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 type classifyRequest struct {
 	Schema string `json:"schema"`
 }
 
-// ClassifyResponse is the /classify reply.
+// ClassifyResponse is the /v1/classify reply.
 type ClassifyResponse struct {
 	Schema       string   `json:"schema"`
 	Tree         bool     `json:"tree"`
@@ -127,12 +206,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	u := schema.NewUniverse() // per-request: client names never enter s.U
 	d, err := schema.Parse(u, req.Schema)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	cls, err := s.E.Classify(d)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	resp := ClassifyResponse{
@@ -154,8 +233,8 @@ type planRequest struct {
 	X      string `json:"x"`
 }
 
-// PlanStmt is one program statement in a /plan reply. Right is -1 for
-// projections, which have a single operand.
+// PlanStmt is one program statement in a /v1/plan reply. Right is -1
+// for projections, which have a single operand.
 type PlanStmt struct {
 	ID    int    `json:"id"`
 	Op    string `json:"op"`
@@ -164,7 +243,7 @@ type PlanStmt struct {
 	Proj  string `json:"proj,omitempty"`
 }
 
-// PlanResponse is the /plan reply.
+// PlanResponse is the /v1/plan reply.
 type PlanResponse struct {
 	Schema string     `json:"schema"`
 	X      string     `json:"x"`
@@ -180,17 +259,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	u := schema.NewUniverse() // per-request: client names never enter s.U
 	d, err := schema.Parse(u, req.Schema)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	x, err := parseTarget(u, req.X)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	pl, err := s.E.Plan(d, x)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	// Format everything through the plan's own universe: on a cache hit
@@ -233,7 +312,8 @@ type solveRequest struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-// SolveStats is the cost report embedded in a /solve reply.
+// SolveStats is the cost report embedded in a /v1/solve or /v1/query
+// reply.
 type SolveStats struct {
 	Statements       int   `json:"statements"`
 	TuplesProduced   int   `json:"tuplesProduced"`
@@ -248,8 +328,25 @@ type SolveStats struct {
 	ElapsedNs        int64 `json:"elapsedNs"`
 }
 
-// SolveResponse is the /solve reply. Tuples holds up to the configured
-// cap of result rows in Cols order; Card is always the full count.
+func solveStats(st *program.Stats, par int) SolveStats {
+	return SolveStats{
+		Statements:       len(st.PerStmt),
+		TuplesProduced:   st.TuplesProduced,
+		MaxIntermediate:  st.MaxIntermediate,
+		Joins:            st.Joins,
+		Projects:         st.Projects,
+		Semijoins:        st.Semijoins,
+		Parallelism:      par,
+		ParallelStmts:    st.ParallelStmts,
+		Repartitions:     st.Repartitions,
+		RepartitionBytes: st.RepartitionBytes,
+		ElapsedNs:        st.Elapsed.Nanoseconds(),
+	}
+}
+
+// SolveResponse is the /v1/solve reply. Tuples holds up to the
+// configured cap of result rows in Cols order; Card is always the full
+// count.
 type SolveResponse struct {
 	X         string             `json:"x"`
 	RequestID string             `json:"requestId"` // also in the X-Request-Id header
@@ -261,6 +358,28 @@ type SolveResponse struct {
 	Trace     *program.Span      `json:"trace,omitempty"` // present when the request set "trace": true
 }
 
+// echoLimit resolves the per-request tuple echo cap: the client may
+// lower the server's bound — including to an explicit 0 for a
+// card-only response — but never raise it. A negative limit is a
+// request error, reported before any evaluation work.
+func (s *Server) echoLimit(w http.ResponseWriter, reqLimit *int) (int, bool) {
+	capTuples := s.MaxTuples
+	if capTuples <= 0 {
+		capTuples = DefaultMaxTuples
+	}
+	limit := capTuples
+	if reqLimit != nil {
+		switch l := *reqLimit; {
+		case l < 0:
+			writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("negative limit %d", l))
+			return 0, false
+		case l < capTuples:
+			limit = l
+		}
+	}
+	return limit, true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req solveRequest
 	if !decode(w, r, &req) {
@@ -270,45 +389,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Schema != "" {
 		var err error
 		if d, err = s.lookupSchema(req.Schema); err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "invalid_request", err)
 			return
 		}
 	}
 	if d == nil {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("no serving schema configured; pass \"schema\""))
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("no serving schema configured; pass \"schema\""))
 		return
 	}
 	x, err := s.lookupTarget(req.X)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
-	// The client may lower the echo cap per request — including to an
-	// explicit 0 for a card-only response — but never raise it past the
-	// server's bound. A negative limit is a request error, not a silent
-	// fallback to the default; validated before any evaluation work.
-	capTuples := s.MaxTuples
-	if capTuples <= 0 {
-		capTuples = DefaultMaxTuples
-	}
-	limit := capTuples
-	if req.Limit != nil {
-		switch l := *req.Limit; {
-		case l < 0:
-			httpErr(w, http.StatusBadRequest, fmt.Errorf("negative limit %d", l))
-			return
-		case l < capTuples:
-			limit = l
-		}
+	limit, ok := s.echoLimit(w, req.Limit)
+	if !ok {
+		return
 	}
 	par := s.E.ClampParallelism(req.Parallelism)
-	reqID := newRequestID()
-	w.Header().Set("X-Request-Id", reqID)
+	reqID := requestID(w)
 	t0 := time.Now()
 	out, st, err := s.E.SolvePar(d, x, par)
 	elapsed := time.Since(t0)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	if s.SlowQuery > 0 && elapsed >= s.SlowQuery {
@@ -321,19 +425,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		RequestID: reqID,
 		Cols:      make([]string, len(cols)),
 		Card:      out.Card(),
-		Stats: SolveStats{
-			Statements:       len(st.PerStmt),
-			TuplesProduced:   st.TuplesProduced,
-			MaxIntermediate:  st.MaxIntermediate,
-			Joins:            st.Joins,
-			Projects:         st.Projects,
-			Semijoins:        st.Semijoins,
-			Parallelism:      par,
-			ParallelStmts:    st.ParallelStmts,
-			Repartitions:     st.Repartitions,
-			RepartitionBytes: st.RepartitionBytes,
-			ElapsedNs:        st.Elapsed.Nanoseconds(),
-		},
+		Stats:     solveStats(st, par),
 	}
 	if req.Trace {
 		// A second Plan call is a guaranteed cache hit for the plan the
@@ -361,12 +453,155 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// mutateRequest is the /insert and /delete body, and one element of a
-// /load body: a relation (named by its attribute set, e.g. "ab") and a
-// tuple batch in that relation's sorted-column order. Schemas are
-// multisets, so when the serving schema contains the same relation
-// schema more than once, "rel" alone addresses the first occurrence;
-// "index" (a position in the serving schema) disambiguates.
+// queryRequest is the /v1/query JSON body. The endpoint equally
+// accepts a text/plain body holding just the query text, with every
+// option at its default.
+type queryRequest struct {
+	// Query is the conjunctive query in the internal/cq grammar, e.g.
+	// "ans(X, Z) :- ab(X, Y), bc(Y, Z)." — predicates name serving
+	// relations by their attribute sets.
+	Query string `json:"query"`
+	// Limit caps the tuples echoed, with /v1/solve semantics.
+	Limit *int `json:"limit,omitempty"`
+	// Parallelism requests partition-parallel execution, clamped to the
+	// engine's worker cap.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Trace adds the per-statement span tree to the reply.
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMs lowers the server's QueryTimeout for this request; it
+	// can never raise it. Negative values are rejected.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// QueryResponse is the /v1/query reply. Cols and Tuples are in the
+// head's written order (the order the query's answer atom lists its
+// variables), not the engine's internal column order.
+type QueryResponse struct {
+	Query     string             `json:"query"`     // canonical form of the executed query
+	RequestID string             `json:"requestId"` // also in the X-Request-Id header
+	Kind      string             `json:"kind"`      // free-connex | acyclic | cyclic
+	Cols      []string           `json:"cols"`      // head variables, written order
+	Card      int                `json:"card"`
+	Tuples    [][]relation.Value `json:"tuples"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Stats     SolveStats         `json:"stats"`
+	Trace     *program.Span      `json:"trace,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	mt, ok := contentTypeOK(r, "application/json", "text/plain")
+	if !ok {
+		writeUnsupportedMediaType(w, r, "application/json or text/plain")
+		return
+	}
+	var req queryRequest
+	if mt == "text/plain" {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+		if err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		req.Query = string(body)
+	} else if !decodeJSON(w, r, &req, MaxBodyBytes) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("missing \"query\""))
+		return
+	}
+	pl, err := s.E.PrepareQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_query", err)
+		return
+	}
+	limit, ok := s.echoLimit(w, req.Limit)
+	if !ok {
+		return
+	}
+	if req.TimeoutMs < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("negative timeoutMs %d", req.TimeoutMs))
+		return
+	}
+	// The evaluation rails: the server's gas budget, and the tighter of
+	// the server's and the client's deadline.
+	lim := program.Limits{MaxTuples: s.Gas}
+	timeout := s.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if ct := time.Duration(req.TimeoutMs) * time.Millisecond; timeout <= 0 || ct < timeout {
+			timeout = ct
+		}
+	}
+	if timeout > 0 {
+		lim.Deadline = time.Now().Add(timeout)
+	}
+	par := s.E.ClampParallelism(req.Parallelism)
+	reqID := requestID(w)
+	t0 := time.Now()
+	out, st, err := s.E.SolveQuery(pl, par, lim)
+	elapsed := time.Since(t0)
+	if err != nil {
+		switch {
+		case errors.Is(err, program.ErrGasExhausted):
+			writeError(w, http.StatusTooManyRequests, "resource_exhausted", err)
+		case errors.Is(err, program.ErrDeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err)
+		default:
+			writeError(w, http.StatusBadRequest, "invalid_query", err)
+		}
+		return
+	}
+	c := pl.CQ
+	if s.SlowQuery > 0 && elapsed >= s.SlowQuery {
+		a, b := cq.Fingerprint(c.Canonical)
+		s.logSlowQuery(reqID, a, b, c.Canonical, par, elapsed, st)
+	}
+	resp := QueryResponse{
+		Query:     c.Canonical,
+		RequestID: reqID,
+		Kind:      c.Kind.String(),
+		Cols:      append([]string(nil), c.HeadVars...),
+		Card:      out.Card(),
+		Stats:     solveStats(st, par),
+	}
+	if req.Trace {
+		if span, serr := pl.Prog.SpanTree(st); serr == nil {
+			resp.Trace = span
+		}
+	}
+	// The result relation's columns are in sorted attribute order;
+	// permute each echoed tuple into the head's written order.
+	cols := out.Cols()
+	perm := make([]int, len(c.HeadIDs))
+	for j, id := range c.HeadIDs {
+		perm[j] = indexOfAttr(cols, id)
+	}
+	echo := out.Card()
+	if echo > limit {
+		echo = limit
+		resp.Truncated = true
+	}
+	resp.Tuples = make([][]relation.Value, echo)
+	for i := 0; i < echo; i++ {
+		row := out.TupleAt(i)
+		t := make([]relation.Value, len(perm))
+		for j, p := range perm {
+			t[j] = row[p]
+		}
+		resp.Tuples[i] = t
+	}
+	writeJSON(w, resp)
+}
+
+// mutateRequest is the /v1/insert and /v1/delete body, and one element
+// of a /v1/load body: a relation (named by its attribute set, e.g.
+// "ab") and a tuple batch in that relation's sorted-column order.
+// Schemas are multisets, so when the serving schema contains the same
+// relation schema more than once, "rel" alone addresses the first
+// occurrence; "index" (a position in the serving schema)
+// disambiguates.
 type mutateRequest struct {
 	Rel    string           `json:"rel"`
 	Index  *int             `json:"index,omitempty"`
@@ -377,11 +612,11 @@ type loadRequest struct {
 	Relations []mutateRequest `json:"relations"`
 }
 
-// MutateResponse is the /insert and /delete reply, and one element of
-// a /load reply. Applied counts the tuples actually inserted or
-// deleted (set semantics: duplicates and absentees don't count); Card
-// is the relation's cardinality in the published snapshot. Durable
-// reports whether the acknowledged batch is on disk.
+// MutateResponse is the /v1/insert and /v1/delete reply, and one
+// element of a /v1/load reply. Applied counts the tuples actually
+// inserted or deleted (set semantics: duplicates and absentees don't
+// count); Card is the relation's cardinality in the published
+// snapshot. Durable reports whether the acknowledged batch is on disk.
 type MutateResponse struct {
 	Rel       string `json:"rel"`
 	Requested int    `json:"requested"`
@@ -390,8 +625,8 @@ type MutateResponse struct {
 	Durable   bool   `json:"durable"`
 }
 
-// LoadResponse is the /load reply: per-relation outcomes of one atomic
-// multi-relation batch.
+// LoadResponse is the /v1/load reply: per-relation outcomes of one
+// atomic multi-relation batch.
 type LoadResponse struct {
 	Relations []MutateResponse `json:"relations"`
 	Durable   bool             `json:"durable"`
@@ -412,17 +647,18 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, kind stora
 	}
 	db := s.E.Snapshot()
 	if db == nil {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("no database snapshot installed"))
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("no database snapshot installed"))
 		return
 	}
 	m, err := s.buildMutation(db, kind, req)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "invalid_request", err)
 		return
 	}
 	next, counts, err := s.E.Apply(m)
 	if err != nil {
-		httpErr(w, applyStatus(err), err)
+		status, code := applyStatus(err)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, MutateResponse{
@@ -444,26 +680,27 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Relations) == 0 {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("empty \"relations\""))
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("empty \"relations\""))
 		return
 	}
 	db := s.E.Snapshot()
 	if db == nil {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("no database snapshot installed"))
+		writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("no database snapshot installed"))
 		return
 	}
 	muts := make([]storage.Mutation, len(req.Relations))
 	for i, mr := range req.Relations {
 		m, err := s.buildMutation(db, storage.KindInsert, mr)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, fmt.Errorf("relations[%d]: %w", i, err))
+			writeError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("relations[%d]: %w", i, err))
 			return
 		}
 		muts[i] = m
 	}
 	next, counts, err := s.E.Apply(muts...)
 	if err != nil {
-		httpErr(w, applyStatus(err), err)
+		status, code := applyStatus(err)
+		writeError(w, status, code, err)
 		return
 	}
 	resp := LoadResponse{Durable: s.E.Durable()}
@@ -479,14 +716,14 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// applyStatus maps an Engine.Apply error to an HTTP status: a
-// durability failure is the server's fault (5xx, retryable, should
-// alert), everything else is request validation (4xx).
-func applyStatus(err error) int {
+// applyStatus maps an Engine.Apply error to an HTTP status and error
+// code: a durability failure is the server's fault (5xx, retryable,
+// should alert), everything else is request validation (4xx).
+func applyStatus(err error) (int, string) {
 	if errors.Is(err, ErrDurability) {
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "internal"
 	}
-	return http.StatusBadRequest
+	return http.StatusBadRequest, "invalid_request"
 }
 
 // buildMutation resolves a mutateRequest against the snapshot's schema
@@ -552,8 +789,8 @@ type RelationStats struct {
 	ArenaBytes int    `json:"arenaBytes"`
 }
 
-// DurabilityStats is the /stats durability section, present when the
-// engine has a Store.
+// DurabilityStats is the /v1/stats durability section, present when
+// the engine has a Store.
 type DurabilityStats struct {
 	WALBytes            int64  `json:"walBytes"`
 	WALSegments         int    `json:"walSegments"`
@@ -569,8 +806,8 @@ type DurabilityStats struct {
 	LastCheckpointError string `json:"lastCheckpointError,omitempty"`
 }
 
-// StatsResponse is the /stats reply. Per-relation cardinalities live
-// in Relations (which superseded the bare snapshotCard array).
+// StatsResponse is the /v1/stats reply. Per-relation cardinalities
+// live in Relations (which superseded the bare snapshotCard array).
 type StatsResponse struct {
 	PlanHits      uint64           `json:"planHits"`
 	PlanMisses    uint64           `json:"planMisses"`
@@ -589,6 +826,9 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
 	st := s.E.Stats()
 	resp := StatsResponse{
 		PlanHits:      st.PlanHits,
@@ -661,7 +901,7 @@ func parseTarget(u *schema.Universe, s string) (schema.AttrSet, error) {
 }
 
 // lookupSchema parses text into a throwaway universe and translates it
-// into the serving universe by lookup only: /solve must produce
+// into the serving universe by lookup only: /v1/solve must produce
 // AttrSets over s.U (to align with the snapshot), but client requests
 // must not grow s.U, so names the serving schema does not know are a
 // request error rather than a fresh interning.
@@ -712,22 +952,83 @@ func (s *Server) lookupSet(tmp *schema.Universe, set schema.AttrSet) (schema.Att
 	return schema.NewAttrSet(ids...), nil
 }
 
+// allowMethod enforces the endpoint's method, answering anything else
+// with 405 and an Allow header per RFC 9110.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("use %s", method))
+	return false
+}
+
+// contentTypeOK reports whether the request's Content-Type (after
+// stripping parameters like charset) is one of the accepted media
+// types, returning the match. An absent Content-Type is accepted as
+// the endpoint's primary type — curl-friendliness over strictness.
+func contentTypeOK(r *http.Request, accepted ...string) (string, bool) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return accepted[0], true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return "", false
+	}
+	for _, a := range accepted {
+		if mt == a {
+			return mt, true
+		}
+	}
+	return "", false
+}
+
+func writeUnsupportedMediaType(w http.ResponseWriter, r *http.Request, want string) {
+	writeError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+		fmt.Errorf("content type %q not supported; use %s", r.Header.Get("Content-Type"), want))
+}
+
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return decodeCapped(w, r, dst, MaxBodyBytes)
 }
 
+// decodeCapped is the standard POST front door: method enforcement
+// (405 + Allow), content-type enforcement (415), body cap (413), then
+// strict JSON decoding (400).
 func decodeCapped(w http.ResponseWriter, r *http.Request, dst any, capBytes int64) bool {
-	if r.Method != http.MethodPost {
-		httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
+	if !allowMethod(w, r, http.MethodPost) {
 		return false
 	}
+	if _, ok := contentTypeOK(r, "application/json"); !ok {
+		writeUnsupportedMediaType(w, r, "application/json")
+		return false
+	}
+	return decodeJSON(w, r, dst, capBytes)
+}
+
+// decodeJSON decodes the body into dst, assuming method and content
+// type were already vetted.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, capBytes int64) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, capBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		writeBodyError(w, fmt.Errorf("invalid JSON body: %w", err))
 		return false
 	}
 	return true
+}
+
+// writeBodyError maps a request-body read failure: the cap trips 413,
+// everything else is a malformed request.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "invalid_request", err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -738,8 +1039,30 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpErr(w http.ResponseWriter, code int, err error) {
+// ErrorInfo is the uniform error payload: a stable machine-readable
+// code, a human-readable message, and the request id correlating the
+// failure with server logs.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// ErrorBody is the envelope every error response uses, on every
+// endpoint: {"error": {"code", "message", "requestId"}}.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// writeError emits the uniform error envelope. The request id comes
+// from the response headers, where the withRequestID middleware
+// stamped it before the handler ran.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: requestID(w),
+	}})
 }

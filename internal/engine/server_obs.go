@@ -53,15 +53,14 @@ func newRequestID() string {
 // in Prometheus text exposition format, plus process-level series
 // computed at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	// Encode into a buffer first: a registry callback panicking or an
 	// encode error must not leave a half-written 200 on the wire.
 	var buf bytes.Buffer
 	if err := s.E.Metrics().WriteText(&buf); err != nil {
-		httpErr(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	obs.WriteSeries(&buf, "gyo_uptime_seconds",

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// v1Server serves the hand-set query fixture from query_test.go.
+func v1Server(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	e, u := queryEngine(t)
+	d := e.Snapshot().D
+	srv := NewServer(e, u, d)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// postRaw posts JSON and returns the response with the body still
+// open (the shared post helper closes it), for decoding error
+// envelopes.
+func postRaw(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeErrorBody(t *testing.T, resp *http.Response) ErrorBody {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return eb
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	var resp QueryResponse
+	r := post(t, ts.URL+"/v1/query", `{"query": "ans(A, C) :- ab(A, B), bc(B, C)."}`, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.Kind != "acyclic" {
+		t.Errorf("kind = %q, want acyclic", resp.Kind)
+	}
+	if resp.Card != 2 || len(resp.Tuples) != 2 {
+		t.Errorf("card = %d, tuples = %v, want 2", resp.Card, resp.Tuples)
+	}
+	if len(resp.Cols) != 2 || resp.Cols[0] != "A" || resp.Cols[1] != "C" {
+		t.Errorf("cols = %v, want [A C]", resp.Cols)
+	}
+	if resp.Query != "ans(A, C) :- ab(A, B), bc(B, C)." {
+		t.Errorf("echoed query = %q, want the canonical form", resp.Query)
+	}
+	if resp.RequestID == "" || resp.RequestID != r.Header.Get("X-Request-Id") {
+		t.Errorf("body requestId %q != header %q", resp.RequestID, r.Header.Get("X-Request-Id"))
+	}
+	if resp.Stats.Statements == 0 {
+		t.Error("stats missing")
+	}
+}
+
+// TestQueryHeadOrder: Cols and Tuples follow the head's written order,
+// not the engine's internal sorted order.
+func TestQueryHeadOrder(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	var resp QueryResponse
+	post(t, ts.URL+"/v1/query", `{"query": "ans(B, A) :- ab(A, B)."}`, &resp)
+	if len(resp.Cols) != 2 || resp.Cols[0] != "B" || resp.Cols[1] != "A" {
+		t.Fatalf("cols = %v, want [B A]", resp.Cols)
+	}
+	found := false
+	for _, tu := range resp.Tuples {
+		if len(tu) == 2 && tu[0] == 10 && tu[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tuples %v not in head order: want (B=10, A=1)", resp.Tuples)
+	}
+}
+
+func TestQueryFreeConnexKind(t *testing.T) {
+	ts, _ := v1Server(t)
+	var resp QueryResponse
+	post(t, ts.URL+"/v1/query", `{"query": "ans(A, B) :- ab(A, B), bc(B, C)."}`, &resp)
+	if resp.Kind != "free-connex" {
+		t.Errorf("kind = %q, want free-connex", resp.Kind)
+	}
+	// A 4-cycle A–B–C–X–A over the stored ab and bc relations: cyclic
+	// hypergraph, every atom still binds to a serving relation.
+	var cyc QueryResponse
+	post(t, ts.URL+"/v1/query", `{"query": "ans(A, C) :- ab(A, B), bc(B, C), ab(A, X), bc(X, C)."}`, &cyc)
+	if cyc.Kind != "cyclic" {
+		t.Errorf("kind = %q, want cyclic", cyc.Kind)
+	}
+}
+
+func TestQueryTextPlainBody(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	r, err := http.Post(ts.URL+"/v1/query", "text/plain",
+		strings.NewReader("ans(A, D) :- ab(A, B), bc(B, C), cd(C, D)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(r.Body)
+		t.Fatalf("status = %d: %s", r.StatusCode, body)
+	}
+	var resp QueryResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Card != 2 {
+		t.Errorf("card = %d, want 2", resp.Card)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, srv := v1Server(t)
+
+	// Parse error: invalid_query with a position in the message.
+	r := postRaw(t, ts.URL+"/v1/query", `{"query": "ans(X) :- r(x)."}`)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d", r.StatusCode)
+	}
+	eb := decodeErrorBody(t, r)
+	if eb.Error.Code != "invalid_query" || !strings.Contains(eb.Error.Message, "1:13") {
+		t.Errorf("envelope = %+v, want invalid_query with position 1:13", eb)
+	}
+	if eb.Error.RequestID == "" || eb.Error.RequestID != r.Header.Get("X-Request-Id") {
+		t.Errorf("envelope requestId %q != header %q", eb.Error.RequestID, r.Header.Get("X-Request-Id"))
+	}
+
+	// Unknown predicate: invalid_query at bind time.
+	r = postRaw(t, ts.URL+"/v1/query", `{"query": "ans(X, Y) :- zq(X, Y)."}`)
+	if eb := decodeErrorBody(t, r); r.StatusCode != http.StatusBadRequest || eb.Error.Code != "invalid_query" {
+		t.Errorf("unknown predicate: status %d, envelope %+v", r.StatusCode, eb)
+	}
+
+	// Gas exhausted: typed resource_exhausted, HTTP 429.
+	srv.Gas = 1
+	r = postRaw(t, ts.URL+"/v1/query", `{"query": "ans(A, D) :- ab(A, B), bc(B, C), cd(C, D)."}`)
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("gas status = %d, want 429", r.StatusCode)
+	}
+	if eb := decodeErrorBody(t, r); eb.Error.Code != "resource_exhausted" {
+		t.Errorf("gas envelope = %+v, want resource_exhausted", eb)
+	}
+	srv.Gas = 0
+
+	// Deadline: typed deadline_exceeded, HTTP 504. A nanosecond server
+	// deadline has always expired by the pre-evaluation check, so this
+	// is deterministic.
+	srv.QueryTimeout = time.Nanosecond
+	r = postRaw(t, ts.URL+"/v1/query", `{"query": "ans(A, D) :- ab(A, B), bc(B, C), cd(C, D)."}`)
+	if r.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status = %d, want 504", r.StatusCode)
+	}
+	if eb := decodeErrorBody(t, r); eb.Error.Code != "deadline_exceeded" {
+		t.Errorf("deadline envelope = %+v, want deadline_exceeded", eb)
+	}
+	srv.QueryTimeout = 0
+
+	// Negative client timeout is a request error.
+	r = postRaw(t, ts.URL+"/v1/query", `{"query": "ans(A, B) :- ab(A, B).", "timeoutMs": -1}`)
+	if eb := decodeErrorBody(t, r); r.StatusCode != http.StatusBadRequest || eb.Error.Code != "invalid_request" {
+		t.Errorf("negative timeout: status %d, envelope %+v", r.StatusCode, eb)
+	}
+
+	// Missing query text.
+	r = postRaw(t, ts.URL+"/v1/query", `{"query": "  "}`)
+	if eb := decodeErrorBody(t, r); r.StatusCode != http.StatusBadRequest || eb.Error.Code != "invalid_request" {
+		t.Errorf("empty query: status %d, envelope %+v", r.StatusCode, eb)
+	}
+}
+
+// TestMethodAndContentTypeMatrix is the table-driven rejection matrix:
+// wrong methods get 405 with an Allow header, wrong content types 415,
+// and every rejection wears the uniform envelope.
+func TestMethodAndContentTypeMatrix(t *testing.T) {
+	ts, _ := v1Server(t)
+	client := ts.Client()
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		ct         string
+		body       string
+		wantStatus int
+		wantAllow  string
+		wantCode   string
+	}{
+		{"get on solve", "GET", "/v1/solve", "", "", 405, "POST", "method_not_allowed"},
+		{"get on query", "GET", "/v1/query", "", "", 405, "POST", "method_not_allowed"},
+		{"delete on insert", "DELETE", "/v1/insert", "", "", 405, "POST", "method_not_allowed"},
+		{"put on classify", "PUT", "/v1/classify", "application/json", `{}`, 405, "POST", "method_not_allowed"},
+		{"post on stats", "POST", "/v1/stats", "application/json", `{}`, 405, "GET", "method_not_allowed"},
+		{"post on metrics", "POST", "/v1/metrics", "application/json", `{}`, 405, "GET", "method_not_allowed"},
+		{"post on healthz", "POST", "/v1/healthz", "", "", 405, "GET", "method_not_allowed"},
+		{"csv on solve", "POST", "/v1/solve", "text/csv", `x,y`, 415, "", "unsupported_media_type"},
+		{"plain on solve", "POST", "/v1/solve", "text/plain", `{"x": "ad"}`, 415, "", "unsupported_media_type"},
+		{"csv on query", "POST", "/v1/query", "text/csv", `ans(X) :- ab(X, Y).`, 415, "", "unsupported_media_type"},
+		{"garbage ct on insert", "POST", "/v1/insert", "multipart/;bad", `{}`, 415, "", "unsupported_media_type"},
+		{"legacy get on solve", "GET", "/solve", "", "", 405, "POST", "method_not_allowed"},
+		{"legacy csv on insert", "POST", "/insert", "text/csv", `{}`, 415, "", "unsupported_media_type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.ct != "" {
+				req.Header.Set("Content-Type", c.ct)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, c.wantStatus)
+			}
+			if c.wantAllow != "" && resp.Header.Get("Allow") != c.wantAllow {
+				t.Errorf("Allow = %q, want %q", resp.Header.Get("Allow"), c.wantAllow)
+			}
+			eb := decodeErrorBody(t, resp)
+			if eb.Error.Code != c.wantCode {
+				t.Errorf("code = %q, want %q", eb.Error.Code, c.wantCode)
+			}
+			if eb.Error.RequestID == "" {
+				t.Error("error envelope missing requestId")
+			}
+		})
+	}
+
+	// JSON with an explicit charset parameter is still accepted.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/classify",
+		strings.NewReader(`{"schema": "ab, bc"}`))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("charset-parameterized JSON rejected: %d", resp.StatusCode)
+	}
+}
+
+func TestDeprecatedAliases(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	// Legacy path answers identically but wears the deprecation headers.
+	var legacy, v1 ClassifyResponse
+	rl := post(t, ts.URL+"/classify", `{"schema": "ab, bc, cd"}`, &legacy)
+	rv := post(t, ts.URL+"/v1/classify", `{"schema": "ab, bc, cd"}`, &v1)
+	if legacy.Schema != v1.Schema || legacy.Tree != v1.Tree || legacy.GR != v1.GR {
+		t.Errorf("legacy and /v1 responses differ: %+v vs %+v", legacy, v1)
+	}
+	if rl.Header.Get("Deprecation") != "true" {
+		t.Error("legacy path missing Deprecation header")
+	}
+	if link := rl.Header.Get("Link"); !strings.Contains(link, "/v1/classify") || !strings.Contains(link, "successor-version") {
+		t.Errorf("legacy Link = %q, want successor-version pointing at /v1/classify", link)
+	}
+	if rv.Header.Get("Deprecation") != "" {
+		t.Error("/v1 path wears a Deprecation header")
+	}
+
+	// /v1/query has no legacy alias.
+	r := post(t, ts.URL+"/query", `{"query": "ans(A, B) :- ab(A, B)."}`, nil)
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("legacy /query status = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	ts, _ := v1Server(t)
+
+	// Malformed JSON on a /v1 path and on a legacy path both use the
+	// envelope.
+	for _, path := range []string{"/v1/solve", "/solve", "/v1/insert", "/load"} {
+		r := postRaw(t, ts.URL+path, `{not json`)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, r.StatusCode)
+			continue
+		}
+		eb := decodeErrorBody(t, r)
+		if eb.Error.Code != "invalid_request" || eb.Error.Message == "" || eb.Error.RequestID == "" {
+			t.Errorf("%s: envelope = %+v", path, eb)
+		}
+	}
+}

@@ -29,8 +29,17 @@ import (
 // ParallelStmts/Repartitions counters recording what actually fanned
 // out. Like EvalExec it never mutates db; pe is exclusive to one run.
 func (p *Program) EvalPar(db *relation.Database, pe *relation.ParExec) (*relation.Relation, *Stats, error) {
+	return p.EvalParLimits(db, pe, Limits{})
+}
+
+// EvalParLimits is EvalPar bounded by lim, with the same semantics as
+// EvalExecLimits: both rails are checked at every statement boundary
+// (parallel statements are never interrupted mid-flight — the overshoot
+// is bounded by one statement), a violation aborts with a *LimitError,
+// and the aborted run leaves no partial state.
+func (p *Program) EvalParLimits(db *relation.Database, pe *relation.ParExec, lim Limits) (*relation.Relation, *Stats, error) {
 	if pe.P() <= 1 {
-		return p.EvalExec(db, pe.Serial())
+		return p.EvalExecLimits(db, pe.Serial(), lim)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -40,6 +49,12 @@ func (p *Program) EvalPar(db *relation.Database, pe *relation.ParExec) (*relatio
 	}
 	if len(p.Stmts) == 0 {
 		return nil, nil, fmt.Errorf("program: empty program has no result")
+	}
+	enforce := lim.active()
+	if enforce {
+		if err := lim.check(0, 0); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	n := len(db.Rels)
@@ -149,6 +164,11 @@ func (p *Program) EvalPar(db *relation.Database, pe *relation.ParExec) (*relatio
 		st.TuplesProduced += d.Out
 		if d.Out > st.MaxIntermediate {
 			st.MaxIntermediate = d.Out
+		}
+		if enforce {
+			if err := lim.check(si, st.TuplesProduced); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	out := materialize(ids - 1)

@@ -201,6 +201,16 @@ func (p *Program) Eval(db *relation.Database) (*relation.Relation, *Stats, error
 // snapshot shared by any number of concurrent evaluations. ex, in
 // contrast, is exclusive to one run at a time.
 func (p *Program) EvalExec(db *relation.Database, ex *relation.Exec) (*relation.Relation, *Stats, error) {
+	return p.EvalExecLimits(db, ex, Limits{})
+}
+
+// EvalExecLimits is EvalExec bounded by lim: the gas budget and
+// deadline are checked at every statement boundary, and a violation
+// aborts the run with a *LimitError (errors.Is-matching
+// ErrGasExhausted or ErrDeadlineExceeded) and a nil relation.
+// Evaluation never mutates db, so an aborted run leaves no partial
+// state.
+func (p *Program) EvalExecLimits(db *relation.Database, ex *relation.Exec, lim Limits) (*relation.Relation, *Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -210,11 +220,17 @@ func (p *Program) EvalExec(db *relation.Database, ex *relation.Exec) (*relation.
 	if len(p.Stmts) == 0 {
 		return nil, nil, fmt.Errorf("program: empty program has no result")
 	}
+	enforce := lim.active()
+	if enforce {
+		if err := lim.check(0, 0); err != nil {
+			return nil, nil, err
+		}
+	}
 	vals := make([]*relation.Relation, len(db.Rels), p.NumIDs())
 	copy(vals, db.Rels)
 	st := &Stats{}
 	start := time.Now()
-	for _, s := range p.Stmts {
+	for si, s := range p.Stmts {
 		var out *relation.Relation
 		d := StmtStat{Kind: s.Kind, InLeft: vals[s.Left].Card(), InRight: -1}
 		t0 := time.Now()
@@ -239,6 +255,11 @@ func (p *Program) EvalExec(db *relation.Database, ex *relation.Exec) (*relation.
 		st.TuplesProduced += out.Card()
 		if out.Card() > st.MaxIntermediate {
 			st.MaxIntermediate = out.Card()
+		}
+		if enforce {
+			if err := lim.check(si, st.TuplesProduced); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	st.Elapsed = time.Since(start)
@@ -326,6 +347,14 @@ func CCPlan(d *schema.Schema, x schema.AttrSet, cc *schema.Schema) (*Program, er
 // After running it, each reduced relation equals π_{Rᵢ}(⋈ⱼ Rⱼ): the
 // database is globally consistent.
 func FullReducer(d *schema.Schema, t *graph.Undirected) (*Program, []int, error) {
+	return fullReducerRooted(d, t, 0)
+}
+
+// fullReducerRooted is FullReducer with an explicit root for the two
+// passes. Full reduction is root-independent (any root yields global
+// consistency); the parameter exists so Yannakakis variants run both
+// phases over one coherent traversal.
+func fullReducerRooted(d *schema.Schema, t *graph.Undirected, root int) (*Program, []int, error) {
 	n := len(d.Rels)
 	if t.N() != n {
 		return nil, nil, fmt.Errorf("program: tree has %d nodes, schema has %d relations", t.N(), n)
@@ -341,11 +370,13 @@ func FullReducer(d *schema.Schema, t *graph.Undirected) (*Program, []int, error)
 	for i := range cur {
 		cur[i] = i
 	}
+	if root < 0 || root >= n {
+		return nil, nil, fmt.Errorf("program: root %d out of range [0, %d)", root, n)
+	}
 	emit := func(left, right int) int {
 		p.Stmts = append(p.Stmts, Stmt{Kind: Semijoin, Left: left, Right: right})
 		return n + len(p.Stmts) - 1
 	}
-	root := 0
 	order, parent := postorder(t, root)
 	// Leaf → root: parent absorbs child restrictions.
 	for _, v := range order {
@@ -402,15 +433,26 @@ func postorder(t *graph.Undirected, root int) (order []int, parent []int) {
 // still needed: X restricted to the subtree plus the link to the
 // parent. X must be ⊆ U(D).
 func Yannakakis(d *schema.Schema, x schema.AttrSet, t *graph.Undirected) (*Program, error) {
+	return YannakakisRooted(d, x, t, 0)
+}
+
+// YannakakisRooted is Yannakakis with an explicit reduction root. The
+// root is where early projection stops helping: every other node keeps
+// only its subtree's target attributes plus the link to its parent
+// before the parent joins it, but the root's own joins see whatever its
+// children send up. A caller that knows which relation covers the
+// target — the conjunctive-query planner's free-connex case — roots the
+// tree there, so projections push below every join and no intermediate
+// materializes attributes outside atom ∪ target widths.
+func YannakakisRooted(d *schema.Schema, x schema.AttrSet, t *graph.Undirected, root int) (*Program, error) {
 	if !x.SubsetOf(d.Attrs()) {
 		return nil, fmt.Errorf("program: target %s ⊄ U(D)", d.U.FormatSet(x))
 	}
-	p, cur, err := FullReducer(d, t)
+	p, cur, err := fullReducerRooted(d, t, root)
 	if err != nil {
 		return nil, err
 	}
 	n := len(d.Rels)
-	root := 0
 	order, parent := postorder(t, root)
 	// Subtree attribute sets.
 	subAttrs := make([]schema.AttrSet, n)

@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"testing"
+
+	"gyokit/internal/schema"
+)
+
+func TestRenamedPermutes(t *testing.T) {
+	u := schema.NewUniverse()
+	ab := u.Set("a", "b")
+	r := New(u, ab)
+	r.Insert(Tuple{1, 2})
+	r.Insert(Tuple{3, 4})
+
+	// Swap the columns onto fresh attribute names.
+	xy := u.Set("x", "y")
+	out := r.Renamed(u, xy, []int{1, 0})
+	if out.Card() != r.Card() {
+		t.Fatalf("renamed card = %d, want %d", out.Card(), r.Card())
+	}
+	if !out.Attrs().Equal(xy) {
+		t.Errorf("renamed attrs = %s, want %s", u.FormatSet(out.Attrs()), u.FormatSet(xy))
+	}
+	for _, want := range []Tuple{{2, 1}, {4, 3}} {
+		if !out.Has(want) {
+			t.Errorf("renamed relation missing permuted tuple %v:\n%v", want, out)
+		}
+	}
+	// The permuted copy is hash-consistent: inserting an existing row is
+	// a no-op.
+	before := out.Card()
+	out.Insert(Tuple{2, 1})
+	if out.Card() != before {
+		t.Error("permuted relation accepted a duplicate: hashes are inconsistent")
+	}
+}
+
+func TestRenamedIdentitySharesFrozen(t *testing.T) {
+	u := schema.NewUniverse()
+	r := New(u, u.Set("a", "b"))
+	for i := 0; i < 3*ChunkRows; i++ {
+		r.Insert(Tuple{Value(i), Value(i + 1)})
+	}
+	r.Freeze()
+
+	out := r.Renamed(u, u.Set("x", "y"), []int{0, 1})
+	if !out.Frozen() {
+		t.Error("identity rename of a frozen relation is not frozen")
+	}
+	if out.Card() != r.Card() {
+		t.Fatalf("card = %d, want %d", out.Card(), r.Card())
+	}
+	// Zero-copy: the view shares the source's chunk arenas.
+	if len(out.chunks) != len(r.chunks) || &out.chunks[0].data[0] != &r.chunks[0].data[0] {
+		t.Error("identity rename of a frozen relation copied the arena")
+	}
+	for i := 0; i < out.Card(); i += ChunkRows / 2 {
+		want := r.TupleAt(i)
+		if !out.Has(want) {
+			t.Errorf("view missing tuple %v", want)
+		}
+	}
+	// A clone of the view (the COW write path) must not disturb the
+	// original.
+	cl := out.Clone()
+	cl.Insert(Tuple{-1, -2})
+	if r.Has(Tuple{-1, -2}) || out.Has(Tuple{-1, -2}) {
+		t.Error("writing a clone of the view leaked into the shared base")
+	}
+}
+
+func TestRenamedIdentityUnfrozenCopies(t *testing.T) {
+	u := schema.NewUniverse()
+	r := New(u, u.Set("a", "b"))
+	r.Insert(Tuple{1, 2})
+
+	out := r.Renamed(u, u.Set("x", "y"), []int{0, 1})
+	out.Insert(Tuple{7, 8})
+	if r.Has(Tuple{7, 8}) {
+		t.Error("identity rename of an unfrozen relation shares storage")
+	}
+}
+
+func TestRenamedPanics(t *testing.T) {
+	u := schema.NewUniverse()
+	r := New(u, u.Set("a", "b"))
+	r.Insert(Tuple{1, 2})
+
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("width mismatch", func() { r.Renamed(u, u.Set("x"), []int{0}) })
+	expectPanic("src length mismatch", func() { r.Renamed(u, u.Set("x", "y"), []int{0}) })
+	expectPanic("src out of range", func() { r.Renamed(u, u.Set("x", "y"), []int{0, 2}) })
+}
