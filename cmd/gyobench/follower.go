@@ -1,0 +1,296 @@
+package main
+
+// Follower load driver: hammer a read replica with /v1/solve over HTTP
+// while (optionally) writing through the leader, and report what a
+// client of the replica actually experiences — read latency
+// percentiles plus the replication lag observed over the run. This is
+// the serving-path complement of BenchmarkReplApply: that measures the
+// apply loop in isolation, this measures a whole leader→follower pair
+// under concurrent load.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gyokit/internal/schema"
+)
+
+type replicaStatusProbe struct {
+	Role       string  `json:"role"`
+	LagBytes   int64   `json:"lagBytes"`
+	LagRecords int64   `json:"lagRecords"`
+	LagSeconds float64 `json:"lagSeconds"`
+	Connected  bool    `json:"connected"`
+	Diverged   bool    `json:"diverged"`
+	LastError  string  `json:"lastError"`
+}
+
+// followerDrive runs n read goroutines against the replica for the
+// given duration, cycling through every attribute pair of schemaText
+// as /v1/solve targets. With a leader URL it also runs one writer
+// posting insert batches, so the lag samples reflect a replica that is
+// actually chasing. The schema must match what the pair serves.
+func followerDrive(followerURL, leaderURL string, n int, d time.Duration, schemaText string, domain, batchSize int, jsonOut bool) error {
+	u := schema.NewUniverse()
+	sch, err := schema.Parse(u, schemaText)
+	if err != nil {
+		return err
+	}
+	attrs := sch.Attrs().Attrs()
+	var targets []string
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			targets = append(targets, u.FormatSet(schema.NewAttrSet(attrs[i], attrs[j])))
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("schema needs at least two attributes")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var st replicaStatusProbe
+	if err := getStatus(client, followerURL, &st); err != nil {
+		return fmt.Errorf("probing %s: %w", followerURL, err)
+	}
+	if !jsonOut {
+		fmt.Printf("driving %s (role %s) with %d readers for %v", followerURL, st.Role, n, d)
+		if leaderURL != "" {
+			fmt.Printf(" + 1 writer via %s", leaderURL)
+		}
+		fmt.Println()
+	}
+
+	stop := make(chan struct{})
+	var wrote int64
+	var writerWG sync.WaitGroup
+	if leaderURL != "" {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(7))
+			relName := u.FormatSet(sch.Rels[0])
+			width := sch.Rels[0].Card()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tuples := make([][]int, batchSize)
+				for i := range tuples {
+					row := make([]int, width)
+					for k := range row {
+						row[k] = rng.Intn(domain)
+					}
+					tuples[i] = row
+				}
+				body, _ := json.Marshal(map[string]any{"rel": relName, "tuples": tuples})
+				resp, err := client.Post(leaderURL+"/v1/insert", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						atomic.AddInt64(&wrote, int64(batchSize))
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	// One sampler records the lag the replica reports while under load.
+	type lagSample struct {
+		bytes   int64
+		records int64
+	}
+	var lagMu sync.Mutex
+	var lags []lagSample
+	disconnects := 0
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var s replicaStatusProbe
+				if err := getStatus(client, followerURL, &s); err != nil {
+					continue
+				}
+				lagMu.Lock()
+				if s.LagBytes >= 0 {
+					lags = append(lags, lagSample{s.LagBytes, s.LagRecords})
+				}
+				if !s.Connected {
+					disconnects++
+				}
+				lagMu.Unlock()
+			}
+		}
+	}()
+
+	const reservoirCap = 1 << 16
+	lats := make([][]time.Duration, n)
+	ops := make([]int64, n)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	deadline := start.Add(d)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; time.Now().Before(deadline); i++ {
+				body, _ := json.Marshal(map[string]string{"x": targets[(g+i)%len(targets)]})
+				t0 := time.Now()
+				resp, err := client.Post(followerURL+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("/v1/solve answered %s", resp.Status)
+					}
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				lat := time.Since(t0)
+				ops[g]++
+				if len(lats[g]) < reservoirCap {
+					lats[g] = append(lats[g], lat)
+				} else if j := rng.Int63n(ops[g]); j < reservoirCap {
+					lats[g][j] = lat
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writerWG.Wait()
+	samplerWG.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var total int64
+	for _, o := range ops {
+		total += o
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	var maxLagBytes, sumLagBytes, maxLagRecords int64
+	for _, s := range lags {
+		sumLagBytes += s.bytes
+		if s.bytes > maxLagBytes {
+			maxLagBytes = s.bytes
+		}
+		if s.records > maxLagRecords {
+			maxLagRecords = s.records
+		}
+	}
+	var final replicaStatusProbe
+	_ = getStatus(client, followerURL, &final)
+
+	if jsonOut {
+		report := struct {
+			Follower      string           `json:"follower"`
+			Leader        string           `json:"leader,omitempty"`
+			Goroutines    int              `json:"goroutines"`
+			DurationSec   float64          `json:"durationSec"`
+			Queries       int64            `json:"queries"`
+			QueriesPerSec float64          `json:"queriesPerSec"`
+			LatencyNs     map[string]int64 `json:"latencyNs,omitempty"`
+			TuplesWritten int64            `json:"tuplesWritten,omitempty"`
+			LagSamples    int              `json:"lagSamples"`
+			MaxLagBytes   int64            `json:"maxLagBytes"`
+			MeanLagBytes  int64            `json:"meanLagBytes"`
+			MaxLagRecords int64            `json:"maxLagRecords"`
+			Disconnects   int              `json:"disconnects"`
+			FinalLagBytes int64            `json:"finalLagBytes"`
+			Diverged      bool             `json:"diverged,omitempty"`
+		}{
+			Follower:      followerURL,
+			Leader:        leaderURL,
+			Goroutines:    n,
+			DurationSec:   elapsed.Seconds(),
+			Queries:       total,
+			QueriesPerSec: float64(total) / elapsed.Seconds(),
+			TuplesWritten: atomic.LoadInt64(&wrote),
+			LagSamples:    len(lags),
+			MaxLagBytes:   maxLagBytes,
+			MaxLagRecords: maxLagRecords,
+			Disconnects:   disconnects,
+			FinalLagBytes: final.LagBytes,
+			Diverged:      final.Diverged,
+		}
+		if len(lags) > 0 {
+			report.MeanLagBytes = sumLagBytes / int64(len(lags))
+		}
+		if len(all) > 0 {
+			report.LatencyNs = map[string]int64{
+				"p50": percentile(all, 50).Nanoseconds(),
+				"p95": percentile(all, 95).Nanoseconds(),
+				"p99": percentile(all, 99).Nanoseconds(),
+				"max": all[len(all)-1].Nanoseconds(),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	fmt.Printf("total:      %d queries in %v\n", total, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f queries/sec aggregate\n", float64(total)/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n",
+			percentile(all, 50), percentile(all, 95), percentile(all, 99), all[len(all)-1])
+	}
+	if leaderURL != "" {
+		fmt.Printf("writes:     %d tuples ingested through the leader\n", atomic.LoadInt64(&wrote))
+	}
+	if len(lags) > 0 {
+		fmt.Printf("lag:        max %d bytes (%d records), mean %d bytes over %d samples, final %d bytes\n",
+			maxLagBytes, maxLagRecords, sumLagBytes/int64(len(lags)), len(lags), final.LagBytes)
+	}
+	if disconnects > 0 {
+		fmt.Printf("warning:    replica reported disconnected in %d samples\n", disconnects)
+	}
+	if final.Diverged {
+		return fmt.Errorf("replica diverged during the run: %s", final.LastError)
+	}
+	return nil
+}
+
+func getStatus(client *http.Client, base string, out *replicaStatusProbe) error {
+	resp, err := client.Get(base + "/v1/replica/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/replica/status answered %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -20,6 +20,11 @@
 //	                      drive the durable write path (WAL + snapshot
 //	                      publish); report tuples/sec and verify by
 //	                      reopening the store
+//	gyobench -follower URL [-leader URL] [-parallel 4] [-duration 2s]
+//	                      [-schema "ab, bc, cd"] [-batch 128] [-domain 32]
+//	                      drive read load against a running replica over
+//	                      HTTP (optionally ingesting through the leader);
+//	                      report p50/p95/p99 latency and observed lag
 //	gyobench -json [-sha SHA] < bench.out > BENCH_SHA.json
 //	                      convert `go test -bench` output to JSON
 //	gyobench -gate BENCH_baseline.json [-gatepattern 'Join|Semijoin']
@@ -65,10 +70,22 @@ func main() {
 	emit := flag.Bool("json", false, "convert `go test -bench` output on stdin to BENCH json on stdout")
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha recorded by -json")
 	gateBaseline := flag.String("gate", "", "baseline BENCH json to gate stdin against")
-	gatePattern := flag.String("gatepattern", "Join|Semijoin", "regexp selecting gated benchmarks")
+	gatePattern := flag.String("gatepattern", "Join|Semijoin|ReplApply", "regexp selecting gated benchmarks")
 	maxRegress := flag.Float64("maxregress", 1.20, "max allowed current/baseline ns-per-op ratio")
+	follower := flag.String("follower", "", "follower-driver mode: base URL of a read replica to load-test")
+	leaderURL := flag.String("leader", "", "follower-driver: leader base URL to ingest through during the run")
 	flag.Parse()
 
+	if *follower != "" {
+		if *parallel <= 0 {
+			*parallel = 4
+		}
+		if err := followerDrive(*follower, *leaderURL, *parallel, *duration, *schemaText, *domain, *batch, *emit); err != nil {
+			fmt.Fprintln(os.Stderr, "gyobench: FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel > 0 {
 		// -json here switches the load report (including the metrics
 		// scrape deltas) to machine-readable output; without -parallel it

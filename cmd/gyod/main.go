@@ -10,6 +10,7 @@
 //	gyod [-addr :8080] [-schema "ab, bc, cd"] [-tuples 1000] [-domain 32] [-seed 1] [-cache 256]
 //	     [-workers N] [-data DIR] [-segbytes N] [-ckptbytes N] [-compactbytes N] [-nosync]
 //	     [-pprof] [-slowquery 1s] [-gas 1000000] [-querytimeout 10s]
+//	     [-follow URL] [-maxlag BYTES]
 //
 // Endpoints (JSON in/out, versioned under /v1):
 //
@@ -23,7 +24,19 @@
 //	POST /v1/load      {"relations": [...]}             bulk ingest, one atomic batch
 //	GET  /v1/stats     engine counters, per-relation cardinalities, durability, build info
 //	GET  /v1/metrics   Prometheus text exposition (solve latency, plan cache, WAL, checkpoints)
-//	GET  /v1/healthz
+//	GET  /v1/healthz   JSON readiness: leader WAL health; follower lag vs -maxlag (503 when not ready)
+//	GET  /v1/replica/status   role, leader URL, applied cursor, lag (records/bytes/seconds)
+//	POST /v1/promote   turn a follower into a leader: stop tailing, fence the cursor, open writes
+//
+// With -data, gyod also serves the replication feed under /v1/repl/
+// (snapshot seeding plus WAL tailing). Start a read replica with
+// -follow: a fresh -data directory seeds itself from the leader's
+// snapshot, then tails its WAL, re-applying every batch through its
+// own WAL — so a replica crash-recovers like any store. A replica
+// serves all reads locally and answers writes with a typed 409 naming
+// the leader ({"error": {"code": "read_only_replica", "leader": ...}}).
+// POST /v1/promote fails the node over; a promoted directory refuses
+// -follow (wipe and re-seed to rejoin a topology).
 //
 // The pre-versioning paths (/solve, /classify, ...) still work as
 // deprecated aliases of their /v1 successors: identical responses plus
@@ -80,6 +93,7 @@ import (
 	"gyokit/internal/engine"
 	"gyokit/internal/obs"
 	"gyokit/internal/relation"
+	"gyokit/internal/repl"
 	"gyokit/internal/schema"
 	"gyokit/internal/storage"
 )
@@ -108,7 +122,13 @@ func run() error {
 	slowQuery := flag.Duration("slowquery", time.Second, "log /v1/solve and /v1/query requests slower than this (0 disables)")
 	gas := flag.Int("gas", 1000000, "per-query gas budget: tuples one /v1/query evaluation may produce (0 disables)")
 	queryTimeout := flag.Duration("querytimeout", 10*time.Second, "per-query deadline for /v1/query (0 disables)")
+	follow := flag.String("follow", "", "run as a read replica of this leader base URL (requires -data)")
+	maxLag := flag.Int64("maxlag", 1<<20, "replica lag in bytes past which /v1/healthz reports unavailable (0 disables)")
 	flag.Parse()
+
+	if *follow != "" && *dataDir == "" {
+		return fmt.Errorf("-follow requires -data: a replica keeps its own durable store")
+	}
 
 	// One registry spans engine and store, so GET /metrics is the whole
 	// server on one page.
@@ -116,6 +136,14 @@ func run() error {
 	opts := engine.Options{PlanCacheSize: *cache, Workers: *workers, Logf: log.Printf, Metrics: reg}
 	var store *storage.Store
 	if *dataDir != "" {
+		if *follow != "" {
+			// Seed or re-point the replica before opening the store: a
+			// fresh directory is bootstrapped from the leader's snapshot
+			// endpoint, an existing replica resumes from its own state.
+			if err := repl.Bootstrap(*dataDir, *follow, nil, log.Printf); err != nil {
+				return err
+			}
+		}
 		var err error
 		store, err = storage.Open(*dataDir, storage.Options{
 			SegmentBytes:    *segBytes,
@@ -173,7 +201,30 @@ func run() error {
 	srv.SlowQuery = *slowQuery
 	srv.Gas = *gas
 	srv.QueryTimeout = *queryTimeout
+
+	var tailer *repl.Tailer
+	if *follow != "" {
+		var err error
+		tailer, err = repl.NewTailer(e, *dataDir, *follow, repl.Config{Logf: log.Printf, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		srv.Replica = tailer
+		srv.MaxLagBytes = *maxLag
+		tailer.Start()
+		log.Printf("gyod: following %s (read replica; writes answer 409)", *follow)
+	}
+
 	handler := srv.Handler()
+	if store != nil {
+		// Any durable node serves the replication feed: snapshot seeding
+		// and WAL tailing under /v1/repl/. Mounted like pprof, on an
+		// outer mux in front of the API.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/repl/", repl.NewStreamer(e, reg, log.Printf))
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	if *pprofOn {
 		// pprof mounts on its own mux in front of the API: the DefaultServeMux
 		// registrations done by the net/http/pprof import are deliberately not
@@ -218,6 +269,11 @@ func run() error {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("gyod: shutdown: %v", err)
+	}
+	if tailer != nil {
+		// Stop tailing (and persist the replication cursor) before the
+		// final checkpoint truncates the WAL that carries it.
+		tailer.Stop()
 	}
 	if store != nil {
 		if err := e.Checkpoint(); err != nil {

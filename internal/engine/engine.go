@@ -128,6 +128,11 @@ type Engine struct {
 	wmu sync.Mutex                        // serializes snapshot writers (Swap/Update/Apply)
 	db  atomic.Pointer[relation.Database] // current frozen snapshot
 
+	// readOnly rejects external Apply calls while the engine is a
+	// replication follower; ApplyReplica (the tailer's path) and
+	// promotion-time SetReadOnly(false) are the only ways around it.
+	readOnly atomic.Bool
+
 	store *storage.Store // nil for a purely in-memory engine
 	logf  func(format string, args ...any)
 	// ckptMu is held for the whole duration of any checkpoint write —
@@ -344,6 +349,19 @@ func (e *Engine) Durable() bool { return e.store != nil && e.store.Synced() }
 // callers can report a server fault rather than a bad request.
 var ErrDurability = errors.New("engine: durability failure")
 
+// ErrReadOnly rejects writes on a replication follower: the write
+// belongs on the leader, and the server layer translates this into a
+// 409 leader-redirect envelope.
+var ErrReadOnly = errors.New("engine: read-only replica")
+
+// SetReadOnly flips the engine's external write gate. A replication
+// follower runs read-only until promoted; reads and the replica apply
+// path are unaffected.
+func (e *Engine) SetReadOnly(v bool) { e.readOnly.Store(v) }
+
+// ReadOnly reports whether external writes are currently rejected.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
 // Apply is the engine's logical write path: it applies the mutation
 // batch copy-on-write to the current snapshot, appends the whole batch
 // to the write-ahead log as one atomic fsynced record (when a Store is
@@ -357,6 +375,24 @@ var ErrDurability = errors.New("engine: durability failure")
 // Writers are serialized with Update/Swap; readers stay on the old
 // snapshot, unblocked, until the new one lands.
 func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts []int, err error) {
+	if e.readOnly.Load() {
+		return nil, nil, ErrReadOnly
+	}
+	return e.applyBatch(muts, true)
+}
+
+// ApplyReplica is the replication tailer's write path: identical to
+// Apply — the batch lands in this follower's own WAL before the
+// snapshot publishes, so the follower can itself recover or be
+// promoted — except that it bypasses the read-only gate and never
+// triggers a background checkpoint (the tailer checkpoints
+// synchronously, after persisting its cursor sidecar, so a checkpoint
+// can never truncate a cursor mark the sidecar has not caught up to).
+func (e *Engine) ApplyReplica(muts ...storage.Mutation) (db *relation.Database, counts []int, err error) {
+	return e.applyBatch(muts, false)
+}
+
+func (e *Engine) applyBatch(muts []storage.Mutation, autoCkpt bool) (db *relation.Database, counts []int, err error) {
 	t0 := time.Now()
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
@@ -377,7 +413,9 @@ func (e *Engine) Apply(muts ...storage.Mutation) (db *relation.Database, counts 
 	}
 	next.Freeze()
 	e.db.Store(next)
-	e.maybeCheckpointLocked(next)
+	if autoCkpt {
+		e.maybeCheckpointLocked(next)
+	}
 	e.m.applySec.Observe(time.Since(t0).Seconds())
 	tuples := 0
 	for _, m := range muts {
@@ -456,6 +494,24 @@ func (e *Engine) Checkpoint() error {
 		return nil
 	}
 	return e.store.WriteCheckpoint(seq, db)
+}
+
+// ReplSnapshot returns the current snapshot paired with the store's
+// WAL tail cursor, captured atomically under the writer lock: the
+// snapshot reflects exactly the records below the cursor, which is the
+// consistency a replication initial sync needs (stream the snapshot,
+// then records from the cursor, and nothing is duplicated or lost).
+func (e *Engine) ReplSnapshot() (*relation.Database, storage.Cursor, error) {
+	if e.store == nil {
+		return nil, storage.Cursor{}, fmt.Errorf("engine: replication requires a durable store")
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	db := e.db.Load()
+	if db == nil {
+		return nil, storage.Cursor{}, fmt.Errorf("engine: no database snapshot installed")
+	}
+	return db, e.store.TailCursor(), nil
 }
 
 // Solve evaluates the query (d, x) against the current snapshot.

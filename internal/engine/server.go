@@ -41,7 +41,12 @@ import (
 // plus GET /v1/stats (engine counters, per-relation cardinalities and
 // arena bytes, durability counters, process/build info), GET
 // /v1/metrics (the engine's observability registry in Prometheus text
-// exposition format), and GET /v1/healthz. The unversioned legacy
+// exposition format), GET /v1/healthz (JSON readiness: store health on
+// a leader, lag-bounded readiness on a follower), GET
+// /v1/replica/status (replication role, cursor, and lag), and POST
+// /v1/promote (turn a follower into a writable leader — see
+// server_repl.go). On a follower every write endpoint answers 409 with
+// code read_only_replica and the leader's URL. The unversioned legacy
 // paths (/solve, /classify, ...) remain mounted as deprecated aliases:
 // they serve identical responses plus a "Deprecation: true" header and
 // a Link header naming the successor /v1 route. /v1/query has no
@@ -95,6 +100,15 @@ type Server struct {
 	// the deadline aborts the run with a typed deadline_exceeded error
 	// (HTTP 504). Zero disables the server-side deadline.
 	QueryTimeout time.Duration
+	// Replica, when non-nil, marks this server as part of a replication
+	// pair: /v1/replica/status and POST /v1/promote delegate to it,
+	// write rejections carry its leader URL, and /v1/healthz folds its
+	// lag and divergence state into readiness. Nil means a plain leader.
+	Replica ReplicaController
+	// MaxLagBytes, when positive, makes /v1/healthz report a follower
+	// unready once its replication lag exceeds this many WAL bytes (or
+	// is unknown) — the hook for load balancers to pull stale replicas.
+	MaxLagBytes int64
 }
 
 // DefaultMaxTuples is the /v1/solve and /v1/query response tuple cap
@@ -137,6 +151,8 @@ func (s *Server) Handler() http.Handler {
 		{"stats", s.handleStats, true},
 		{"metrics", s.handleMetrics, true},
 		{"healthz", s.handleHealthz, true},
+		{"replica/status", s.handleReplicaStatus, false}, // new in /v1
+		{"promote", s.handlePromote, false},              // new in /v1
 	}
 	mux := http.NewServeMux()
 	for _, rt := range routes {
@@ -175,13 +191,6 @@ func deprecatedAlias(successor string, h http.Handler) http.Handler {
 		w.Header().Set("Link", link)
 		h.ServeHTTP(w, r)
 	})
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !allowMethod(w, r, http.MethodGet) {
-		return
-	}
-	fmt.Fprintln(w, "ok")
 }
 
 type classifyRequest struct {
@@ -657,6 +666,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, kind stora
 	}
 	next, counts, err := s.E.Apply(m)
 	if err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			s.writeReadOnly(w)
+			return
+		}
 		status, code := applyStatus(err)
 		writeError(w, status, code, err)
 		return
@@ -699,6 +712,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	next, counts, err := s.E.Apply(muts...)
 	if err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			s.writeReadOnly(w)
+			return
+		}
 		status, code := applyStatus(err)
 		writeError(w, status, code, err)
 		return
@@ -1046,6 +1063,9 @@ type ErrorInfo struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"requestId,omitempty"`
+	// Leader, set on read_only_replica rejections, is the URL writes
+	// should be redirected to.
+	Leader string `json:"leader,omitempty"`
 }
 
 // ErrorBody is the envelope every error response uses, on every

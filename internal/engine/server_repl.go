@@ -1,0 +1,159 @@
+package engine
+
+// Replication-aware server surface: /v1/replica/status, /v1/promote,
+// the JSON /v1/healthz readiness report, and the 409 leader-redirect
+// envelope write endpoints answer on a follower. The server never
+// talks to internal/repl directly — the import points the other way —
+// so the follower machinery plugs in through ReplicaController and
+// gyod wires the two together.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// ReplicaController is what a replication follower exposes to its
+// serving layer. internal/repl's Tailer implements it.
+type ReplicaController interface {
+	// ReplicaStatus returns the follower's current replication state.
+	ReplicaStatus() ReplicaStatus
+	// Promote stops tailing, fences the replication cursor, and opens
+	// the engine for writes. It is idempotent; after it returns nil the
+	// node is a leader.
+	Promote() error
+}
+
+// ReplicaStatus is the /v1/replica/status reply (and the input to the
+// healthz readiness rules).
+type ReplicaStatus struct {
+	// Role is "leader" or "follower". A promoted follower reports
+	// "leader".
+	Role string `json:"role"`
+	// LeaderURL is the leader this node follows (followers only; a
+	// promoted node keeps reporting its old leader for operator
+	// orientation, under PreviousLeader).
+	LeaderURL      string `json:"leaderUrl,omitempty"`
+	PreviousLeader string `json:"previousLeader,omitempty"`
+	// CursorSeg/CursorOff is the applied replication cursor: the WAL
+	// position on the leader this node's state covers. On a leader the
+	// cursor is its own WAL tail.
+	CursorSeg uint64 `json:"cursorSeg"`
+	CursorOff int64  `json:"cursorOff"`
+	// LagBytes is the acknowledged leader WAL bytes not yet applied
+	// here; -1 means unknown (not connected since the last restart).
+	LagBytes int64 `json:"lagBytes"`
+	// LagRecords is the leader batches not yet applied here; -1 means
+	// unknown (the counter anchors only once the follower has fully
+	// caught up at least once).
+	LagRecords int64 `json:"lagRecords"`
+	// LagSeconds is the time since this node was last fully caught up;
+	// 0 when caught up, -1 when never caught up since starting.
+	LagSeconds float64 `json:"lagSeconds"`
+	// Connected reports whether the leader feed is currently healthy.
+	Connected bool `json:"connected"`
+	// Diverged means replication stopped permanently: the leader no
+	// longer serves this node's cursor (or changed identity), and the
+	// replica must be re-seeded. LastError carries the operator message.
+	Diverged  bool   `json:"diverged,omitempty"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.Replica != nil {
+		writeJSON(w, s.Replica.ReplicaStatus())
+		return
+	}
+	st := ReplicaStatus{Role: "leader", Connected: true}
+	if store := s.E.Store(); store != nil {
+		c := store.TailCursor()
+		st.CursorSeg, st.CursorOff = c.Seg, c.Off
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.Replica == nil {
+		writeError(w, http.StatusConflict, "not_a_replica",
+			fmt.Errorf("this node is not a replica; nothing to promote"))
+		return
+	}
+	if err := s.Replica.Promote(); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal",
+			fmt.Errorf("promote failed: %w", err))
+		return
+	}
+	writeJSON(w, s.Replica.ReplicaStatus())
+}
+
+// HealthResponse is the /v1/healthz reply. Status "ok" comes with HTTP
+// 200, "unavailable" with 503 and the reasons — the readiness contract
+// for load balancers: a leader is ready while its store can accept
+// writes, a follower while it is not diverged and (when the server
+// sets MaxLagBytes) its lag is known and under the bound.
+type HealthResponse struct {
+	Status   string   `json:"status"` // "ok" | "unavailable"
+	Role     string   `json:"role"`   // "leader" | "follower"
+	Reasons  []string `json:"reasons,omitempty"`
+	LagBytes *int64   `json:"lagBytes,omitempty"` // followers only; -1 = unknown
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := HealthResponse{Status: "ok", Role: "leader"}
+	if s.Replica != nil {
+		st := s.Replica.ReplicaStatus()
+		resp.Role = st.Role
+		if st.Role == "follower" {
+			lag := st.LagBytes
+			resp.LagBytes = &lag
+			if st.Diverged {
+				msg := "replica diverged from its leader"
+				if st.LastError != "" {
+					msg += ": " + st.LastError
+				}
+				resp.Reasons = append(resp.Reasons, msg)
+			}
+			if s.MaxLagBytes > 0 && (lag < 0 || lag > s.MaxLagBytes) {
+				resp.Reasons = append(resp.Reasons,
+					fmt.Sprintf("replication lag %d bytes exceeds the readiness bound %d (-1 = unknown)", lag, s.MaxLagBytes))
+			}
+		}
+	}
+	if store := s.E.Store(); store != nil {
+		if err := store.Healthy(); err != nil {
+			resp.Reasons = append(resp.Reasons, err.Error())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if len(resp.Reasons) > 0 {
+		resp.Status = "unavailable"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// writeReadOnly answers a write attempt on a read replica: a typed 409
+// whose envelope names the leader, so clients can redirect instead of
+// retrying here.
+func (s *Server) writeReadOnly(w http.ResponseWriter) {
+	info := ErrorInfo{
+		Code:      "read_only_replica",
+		Message:   "this node is a read replica; send writes to the leader",
+		RequestID: requestID(w),
+	}
+	if s.Replica != nil {
+		info.Leader = s.Replica.ReplicaStatus().LeaderURL
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: info})
+}

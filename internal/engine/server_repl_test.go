@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeReplica is a scriptable ReplicaController for server tests.
+type fakeReplica struct {
+	st       ReplicaStatus
+	promoted int
+	fail     error
+}
+
+func (f *fakeReplica) ReplicaStatus() ReplicaStatus { return f.st }
+func (f *fakeReplica) Promote() error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.promoted++
+	f.st.Role = "leader"
+	f.st.PreviousLeader, f.st.LeaderURL = f.st.LeaderURL, ""
+	return nil
+}
+
+func get(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestReplicaStatusLeader(t *testing.T) {
+	ts, _, _ := testServer(t)
+	var st ReplicaStatus
+	resp := get(t, ts.URL+"/v1/replica/status", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Role != "leader" || !st.Connected {
+		t.Errorf("leader status = %+v", st)
+	}
+}
+
+func TestReplicaStatusFollowerPassthrough(t *testing.T) {
+	ts, _, srv := testServer(t)
+	srv.Replica = &fakeReplica{st: ReplicaStatus{
+		Role: "follower", LeaderURL: "http://leader:2960",
+		CursorSeg: 3, CursorOff: 808, LagBytes: 42, LagRecords: 2, Connected: true,
+	}}
+	var st ReplicaStatus
+	get(t, ts.URL+"/v1/replica/status", &st)
+	if st.Role != "follower" || st.LeaderURL != "http://leader:2960" ||
+		st.CursorSeg != 3 || st.CursorOff != 808 || st.LagBytes != 42 {
+		t.Errorf("follower status = %+v", st)
+	}
+}
+
+func TestPromoteEndpoint(t *testing.T) {
+	ts, _, srv := testServer(t)
+
+	// Not a replica: typed 409.
+	resp := postRaw(t, ts.URL+"/v1/promote", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote on leader: status = %d", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "not_a_replica" {
+		t.Errorf("code = %q, want not_a_replica", eb.Error.Code)
+	}
+
+	// A follower promotes and answers with its new status.
+	fr := &fakeReplica{st: ReplicaStatus{Role: "follower", LeaderURL: "http://leader:2960"}}
+	srv.Replica = fr
+	var st ReplicaStatus
+	r := post(t, ts.URL+"/v1/promote", "", &st)
+	if r.StatusCode != http.StatusOK || fr.promoted != 1 {
+		t.Fatalf("promote: status = %d, promoted = %d", r.StatusCode, fr.promoted)
+	}
+	if st.Role != "leader" || st.PreviousLeader != "http://leader:2960" {
+		t.Errorf("post-promote status = %+v", st)
+	}
+
+	// Method enforcement.
+	gr := get(t, ts.URL+"/v1/promote", nil)
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/promote: status = %d", gr.StatusCode)
+	}
+}
+
+func TestWriteEndpointsRejectOnReplica(t *testing.T) {
+	ts, _, srv := testServer(t)
+	srv.Replica = &fakeReplica{st: ReplicaStatus{Role: "follower", LeaderURL: "http://leader:2960"}}
+	srv.E.SetReadOnly(true)
+
+	for path, body := range map[string]string{
+		"/v1/insert": `{"rel": "ab", "tuples": [[1, 2]]}`,
+		"/v1/delete": `{"rel": "ab", "tuples": [[1, 2]]}`,
+		"/v1/load":   `{"relations": [{"rel": "ab", "tuples": [[1, 2]]}]}`,
+	} {
+		resp := postRaw(t, ts.URL+path, body)
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("%s on replica: status = %d, want 409", path, resp.StatusCode)
+			continue
+		}
+		eb := decodeErrorBody(t, resp)
+		if eb.Error.Code != "read_only_replica" {
+			t.Errorf("%s: code = %q, want read_only_replica", path, eb.Error.Code)
+		}
+		if eb.Error.Leader != "http://leader:2960" {
+			t.Errorf("%s: leader = %q", path, eb.Error.Leader)
+		}
+	}
+
+	// Reads still serve locally.
+	var sr SolveResponse
+	if r := post(t, ts.URL+"/v1/solve", `{"x": "ad"}`, &sr); r.StatusCode != http.StatusOK {
+		t.Errorf("/v1/solve on replica: status = %d", r.StatusCode)
+	}
+
+	// Promotion reopens writes.
+	srv.E.SetReadOnly(false)
+	var mr MutateResponse
+	if r := post(t, ts.URL+"/v1/insert", `{"rel": "ab", "tuples": [[7, 8]]}`, &mr); r.StatusCode != http.StatusOK {
+		t.Errorf("insert after promote: status = %d", r.StatusCode)
+	}
+}
+
+func TestHealthzLeader(t *testing.T) {
+	ts, _, _ := testServer(t)
+	var h HealthResponse
+	resp := get(t, ts.URL+"/v1/healthz", &h)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Role != "leader" {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, h)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("healthz content type = %q", ct)
+	}
+}
+
+func TestHealthzFollowerLagRules(t *testing.T) {
+	cases := []struct {
+		name       string
+		st         ReplicaStatus
+		maxLag     int64
+		wantStatus int
+	}{
+		{"caught up", ReplicaStatus{Role: "follower", LagBytes: 0, Connected: true}, 1 << 20, http.StatusOK},
+		{"lag under bound", ReplicaStatus{Role: "follower", LagBytes: 100, Connected: true}, 1 << 20, http.StatusOK},
+		{"lag over bound", ReplicaStatus{Role: "follower", LagBytes: 2 << 20, Connected: true}, 1 << 20, http.StatusServiceUnavailable},
+		{"lag unknown", ReplicaStatus{Role: "follower", LagBytes: -1}, 1 << 20, http.StatusServiceUnavailable},
+		{"no bound configured", ReplicaStatus{Role: "follower", LagBytes: 5 << 20}, 0, http.StatusOK},
+		{"diverged", ReplicaStatus{Role: "follower", Diverged: true, LastError: "cursor gone"}, 0, http.StatusServiceUnavailable},
+		{"promoted follower is a leader", ReplicaStatus{Role: "leader", LagBytes: -1}, 1 << 20, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, _, srv := testServer(t)
+			srv.Replica = &fakeReplica{st: tc.st}
+			srv.MaxLagBytes = tc.maxLag
+			var h HealthResponse
+			resp := get(t, ts.URL+"/v1/healthz", &h)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d (%+v), want %d", resp.StatusCode, h, tc.wantStatus)
+			}
+			if (resp.StatusCode == http.StatusOK) != (h.Status == "ok") {
+				t.Errorf("body status %q inconsistent with HTTP %d", h.Status, resp.StatusCode)
+			}
+			if tc.st.Role == "follower" && h.LagBytes == nil {
+				t.Error("follower healthz missing lagBytes")
+			}
+		})
+	}
+}
+
+func TestEngineReadOnlyGate(t *testing.T) {
+	e, _ := queryEngine(t)
+	e.SetReadOnly(true)
+	if _, _, err := e.Apply(); err != ErrReadOnly {
+		t.Fatalf("Apply on read-only engine: %v, want ErrReadOnly", err)
+	}
+	// The replica path bypasses the gate.
+	if _, _, err := e.ApplyReplica(); err != nil {
+		t.Fatalf("ApplyReplica on read-only engine: %v", err)
+	}
+	e.SetReadOnly(false)
+	if _, _, err := e.Apply(); err != nil {
+		t.Fatalf("Apply after reopen: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"gyokit/internal/storage"
+)
+
+// frame builds one wire frame around payload, optionally with a wrong
+// CRC — the raw material for torn/corrupt feed seeds.
+func frame(payload []byte, corrupt bool) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	crc := crc32.Checksum(payload, crcTable)
+	if corrupt {
+		crc ^= 0x8000
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return append(buf, payload...)
+}
+
+// FuzzReplStream hammers the replication wire decoders with arbitrary
+// bytes: the feed preamble, the snapshot header, and the frame
+// splitter that gates what a follower may apply. The invariants are
+// the ones "never apply a partial batch" rests on — SplitFrames must
+// be total (no panic on torn records, bit flips, or mid-rotation
+// cuts), must only yield CRC-verified whole frames, and must account
+// for exactly the bytes those frames occupy.
+func FuzzReplStream(f *testing.F) {
+	// Seeds: a valid response head, valid frames, torn and corrupt ones.
+	pre := encodePreamble(preamble{
+		StoreID: 7, Req: storage.Cursor{Seg: 1, Off: 8},
+		Next: storage.Cursor{Seg: 1, Off: 64}, Tip: storage.Cursor{Seg: 2, Off: 8},
+		Appends: 3, FrameBytes: 56,
+	})
+	good := frame([]byte("some batch payload"), false)
+	f.Add(append(append([]byte{}, pre...), good...))
+	f.Add(good)
+	f.Add(append(append([]byte{}, good...), good[:len(good)-3]...)) // torn second frame
+	f.Add(frame([]byte("flipped"), true))                           // CRC mismatch
+	f.Add(encodeSnapHeader(42, storage.Cursor{Seg: 3, Off: 4096}))
+	f.Add(binary.LittleEndian.AppendUint32([]byte(nil), 1<<31)) // absurd length prefix
+	f.Add([]byte(feedMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := decodePreamble(data); err == nil {
+			if !bytes.Equal(encodePreamble(p), data[:preambleLen]) {
+				t.Fatalf("preamble decode/encode not a round trip for %x", data[:preambleLen])
+			}
+		}
+		if id, c, err := decodeSnapHeader(data); err == nil {
+			if !bytes.Equal(encodeSnapHeader(id, c), data[:snapHeaderLen]) {
+				t.Fatalf("snapshot header decode/encode not a round trip for %x", data[:snapHeaderLen])
+			}
+		}
+
+		payloads, consumed := storage.SplitFrames(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("SplitFrames consumed %d of %d bytes", consumed, len(data))
+		}
+		sum := 0
+		for _, pl := range payloads {
+			// Every yielded frame really is CRC-clean: flipping any of its
+			// bits would have stopped the split before it.
+			want := binary.LittleEndian.Uint32(data[sum+4:])
+			if got := crc32.Checksum(pl, crcTable); got != want {
+				t.Fatalf("SplitFrames yielded a frame whose CRC does not verify (%08x != %08x)", got, want)
+			}
+			sum += storage.FrameOverhead + len(pl)
+			// What the splitter admits is what a follower would hand to
+			// the batch decoder; it must never panic on it.
+			_, _ = storage.DecodeBatch(pl)
+		}
+		if sum != consumed {
+			t.Fatalf("frames cover %d bytes but SplitFrames consumed %d", sum, consumed)
+		}
+		// Re-splitting the consumed prefix must be a fixpoint: same
+		// frames, everything consumed.
+		again, c2 := storage.SplitFrames(data[:consumed])
+		if c2 != consumed || len(again) != len(payloads) {
+			t.Fatalf("re-split of the consumed prefix differs: %d/%d frames, %d/%d bytes",
+				len(again), len(payloads), c2, consumed)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package repl implements leader/follower log-shipping replication
+// for gyod. The leader side is Streamer, an HTTP handler serving the
+// /v1/repl/ feed: an initial-sync snapshot in the chunk-store format,
+// then WAL records streamed from a (segment, offset) cursor in the
+// store's own CRC framing. The follower side is Tailer, which
+// bootstraps from the snapshot and re-applies each shipped batch
+// through the engine's append-then-publish path into its own WAL, so
+// a follower can crash-recover, be re-pointed at the same leader, or
+// be promoted into a leader without a rewrite.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"gyokit/internal/storage"
+)
+
+// Feed wire format. A /v1/repl/wal response is one preamble followed
+// by FrameBytes of raw WAL frames (each [u32 len][u32 crc][payload],
+// exactly as the leader's segment files hold them — the follower
+// re-verifies every CRC, so a byte flipped in transit can never be
+// applied). A /v1/repl/snapshot response is one snapshot header
+// followed by the storage snapshot stream.
+const (
+	feedMagic = "GYOFEED1"
+	snapMagic = "GYOSNAP1"
+
+	preambleLen   = 88 // magic(8) id(8) req(16) next(16) tip(16) lag(8) appends(8) frameBytes(4) crc(4)
+	snapHeaderLen = 36 // magic(8) id(8) cursor(16) crc(4)
+
+	// maxFeedFrameBytes bounds a single response's frame section. The
+	// server clamps the client's max= to this; the client refuses to
+	// buffer more. A single WAL frame can legitimately exceed the
+	// default window (ReadWAL returns oversized frames whole), so the
+	// bound is generous but still far below maxRecordSize.
+	maxFeedFrameBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// preamble is the fixed header of every /v1/repl/wal response.
+type preamble struct {
+	StoreID uint64
+	// Req echoes the request cursor, so a follower can detect a
+	// mismatched or cached response before applying anything.
+	Req storage.Cursor
+	// Next is the cursor after consuming this response's frames. It can
+	// advance past Req with zero frames — a rotation hop to the next
+	// segment's first record position.
+	Next storage.Cursor
+	// Tip is the leader's durable WAL tail at read time.
+	Tip storage.Cursor
+	// LagBytes is the leader-computed acknowledged bytes between Next
+	// and Tip (segment headers excluded); 0 means caught up.
+	LagBytes int64
+	// Appends is the leader's batch-append counter since its last
+	// restart — the anchor for the follower's lag-in-records estimate.
+	// A regression means the leader restarted; the follower de-anchors.
+	Appends uint64
+	// FrameBytes is the length of the frame section after the preamble.
+	FrameBytes uint32
+}
+
+func appendCursor(dst []byte, c storage.Cursor) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, c.Seg)
+	return binary.LittleEndian.AppendUint64(dst, uint64(c.Off))
+}
+
+func readCursor(b []byte) storage.Cursor {
+	return storage.Cursor{
+		Seg: binary.LittleEndian.Uint64(b),
+		Off: int64(binary.LittleEndian.Uint64(b[8:])),
+	}
+}
+
+func encodePreamble(p preamble) []byte {
+	buf := make([]byte, 0, preambleLen)
+	buf = append(buf, feedMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, p.StoreID)
+	buf = appendCursor(buf, p.Req)
+	buf = appendCursor(buf, p.Next)
+	buf = appendCursor(buf, p.Tip)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.LagBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, p.Appends)
+	buf = binary.LittleEndian.AppendUint32(buf, p.FrameBytes)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodePreamble(b []byte) (preamble, error) {
+	var p preamble
+	if len(b) < preambleLen {
+		return p, fmt.Errorf("repl: short feed preamble: %d bytes", len(b))
+	}
+	b = b[:preambleLen]
+	if string(b[:8]) != feedMagic {
+		return p, fmt.Errorf("repl: bad feed magic %q", b[:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[84:]), crc32.Checksum(b[:84], crcTable); got != want {
+		return p, fmt.Errorf("repl: feed preamble checksum mismatch")
+	}
+	p.StoreID = binary.LittleEndian.Uint64(b[8:])
+	p.Req = readCursor(b[16:])
+	p.Next = readCursor(b[32:])
+	p.Tip = readCursor(b[48:])
+	p.LagBytes = int64(binary.LittleEndian.Uint64(b[64:]))
+	p.Appends = binary.LittleEndian.Uint64(b[72:])
+	p.FrameBytes = binary.LittleEndian.Uint32(b[80:])
+	if p.Req.Off < 0 || p.Next.Off < 0 || p.Tip.Off < 0 {
+		return p, fmt.Errorf("repl: negative cursor offset in feed preamble")
+	}
+	if p.FrameBytes > maxFeedFrameBytes {
+		return p, fmt.Errorf("repl: feed frame section %d exceeds the %d limit", p.FrameBytes, maxFeedFrameBytes)
+	}
+	return p, nil
+}
+
+// encodeSnapHeader frames a snapshot stream: the leader's identity and
+// the WAL cursor the snapshot is consistent with — the position the
+// follower starts tailing from.
+func encodeSnapHeader(storeID uint64, c storage.Cursor) []byte {
+	buf := make([]byte, 0, snapHeaderLen)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, storeID)
+	buf = appendCursor(buf, c)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeSnapHeader(b []byte) (storeID uint64, c storage.Cursor, err error) {
+	if len(b) < snapHeaderLen {
+		return 0, c, fmt.Errorf("repl: short snapshot header: %d bytes", len(b))
+	}
+	b = b[:snapHeaderLen]
+	if string(b[:8]) != snapMagic {
+		return 0, c, fmt.Errorf("repl: bad snapshot magic %q", b[:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[32:]), crc32.Checksum(b[:32], crcTable); got != want {
+		return 0, c, fmt.Errorf("repl: snapshot header checksum mismatch")
+	}
+	storeID = binary.LittleEndian.Uint64(b[8:])
+	c = readCursor(b[16:])
+	if c.Off < 0 {
+		return 0, c, fmt.Errorf("repl: negative cursor offset in snapshot header")
+	}
+	return storeID, c, nil
+}

@@ -324,6 +324,9 @@ func appendMutation(dst []byte, m Mutation) []byte {
 		}
 	case KindDrop:
 		dst = appendUvarint(dst, uint64(m.Rel))
+	case KindCursor:
+		dst = appendUvarint(dst, m.Cursor.Seg)
+		dst = appendUvarint(dst, uint64(m.Cursor.Off))
 	}
 	return dst
 }
@@ -410,6 +413,19 @@ func decodeMutation(r *reader) (Mutation, error) {
 			return Mutation{}, err
 		}
 		m.Rel = rel
+	case KindCursor:
+		seg, err := r.uvarint("cursor segment")
+		if err != nil {
+			return Mutation{}, err
+		}
+		off, err := r.uvarint("cursor offset")
+		if err != nil {
+			return Mutation{}, err
+		}
+		if off > 1<<62 {
+			return Mutation{}, corruptf("cursor offset %d", off)
+		}
+		m.Cursor = Cursor{Seg: seg, Off: int64(off)}
 	default:
 		return Mutation{}, corruptf("unknown mutation kind %d", kb[0])
 	}

@@ -17,6 +17,7 @@ const (
 	KindDelete Kind = 2 // delete a tuple batch from relation Rel
 	KindCreate Kind = 3 // append a new (empty) relation with Attrs
 	KindDrop   Kind = 4 // remove relation Rel from the schema
+	KindCursor Kind = 5 // no-op replication cursor mark (see CursorMark)
 )
 
 func (k Kind) String() string {
@@ -29,6 +30,8 @@ func (k Kind) String() string {
 		return "create"
 	case KindDrop:
 		return "drop"
+	case KindCursor:
+		return "cursor"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -50,6 +53,9 @@ type Mutation struct {
 	Values []relation.Value
 	// Attrs names the attribute set of the new relation (Create).
 	Attrs []string
+	// Cursor is the leader WAL position this record covers (Cursor
+	// marks only).
+	Cursor Cursor
 }
 
 // Insert returns an insert-batch mutation for relation rel from tuples
@@ -74,6 +80,17 @@ func Create(attrs ...string) Mutation {
 // Drop returns a mutation removing relation rel from the schema.
 func Drop(rel int) Mutation {
 	return Mutation{Kind: KindDrop, Rel: rel}
+}
+
+// CursorMark returns a no-op mutation recording a replication cursor.
+// A follower appends one as the last mutation of every batch it
+// re-logs from its leader: the mark rides in the same atomic WAL
+// record as the batch, so recovery replays data and cursor together
+// and ReplayedCursor reports exactly how far the recovered state
+// reaches — without it a batch could be re-fetched and re-applied,
+// which Create/Drop do not tolerate.
+func CursorMark(c Cursor) Mutation {
+	return Mutation{Kind: KindCursor, Cursor: c}
 }
 
 // CreatesFor returns one Create mutation per relation schema of d,
@@ -145,6 +162,8 @@ func (m Mutation) validate(db *relation.Database) error {
 		if m.Rel < 0 || m.Rel >= len(db.Rels) {
 			return fmt.Errorf("storage: drop: relation %d out of range (schema has %d)", m.Rel, len(db.Rels))
 		}
+	case KindCursor:
+		// No state to check: the mark is a pure annotation.
 	default:
 		return fmt.Errorf("storage: unknown mutation kind %d", m.Kind)
 	}
@@ -184,6 +203,10 @@ func (m Mutation) encodable() error {
 	case KindDrop:
 		if m.Rel < 0 || m.Rel > maxRelations {
 			return fmt.Errorf("storage: drop: relation index %d exceeds codec cap %d", m.Rel, maxRelations)
+		}
+	case KindCursor:
+		if m.Cursor.Off < 0 {
+			return fmt.Errorf("storage: cursor mark with negative offset %d", m.Cursor.Off)
 		}
 	default:
 		return fmt.Errorf("storage: unknown mutation kind %d", m.Kind)
@@ -259,6 +282,8 @@ func (m Mutation) apply(db *relation.Database, inPlace bool) (*relation.Database
 		}
 		db.D = db.D.RemoveAt(m.Rel)
 		db.Rels = append(db.Rels[:m.Rel:m.Rel], db.Rels[m.Rel+1:]...)
+		return db, 0, nil
+	case KindCursor:
 		return db, 0, nil
 	}
 	panic("unreachable")

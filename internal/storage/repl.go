@@ -1,0 +1,570 @@
+package storage
+
+// Replication primitives: everything a log-shipping leader/follower
+// pair (internal/repl) needs from the durability layer, kept here so
+// the WAL and chunk-store formats stay private to this package.
+//
+// The leader side is read-only over existing state: ReadWAL serves
+// frame-aligned windows of acknowledged WAL bytes addressed by a
+// (segment, offset) Cursor, and WriteReplSnapshot streams the current
+// snapshot as a manifest + chunk records in the exact on-disk
+// checkpoint format. The follower side is InstallReplSnapshot (which
+// materializes that stream as a directory a normal Open recovers) plus
+// KindCursor marks: no-op mutations the follower appends at the end of
+// every re-logged batch, recording which leader cursor that batch
+// corresponds to. Because the mark travels in the same atomic WAL
+// record as the batch, recovery replays exactly the applied prefix and
+// ReplayedCursor tells the tailer where to resume — re-applying a
+// batch is not an option, since Create/Drop are not idempotent.
+
+import (
+	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gyokit/internal/relation"
+)
+
+// Cursor addresses a position in the WAL: a segment sequence number
+// and a byte offset within that segment's file. Offsets produced by
+// this package always sit on a frame boundary (or at the 8-byte
+// segment header, for a fresh segment).
+type Cursor struct {
+	Seg uint64
+	Off int64
+}
+
+func (c Cursor) String() string { return fmt.Sprintf("%d/%d", c.Seg, c.Off) }
+
+// Less orders cursors by WAL position.
+func (c Cursor) Less(o Cursor) bool {
+	if c.Seg != o.Seg {
+		return c.Seg < o.Seg
+	}
+	return c.Off < o.Off
+}
+
+// FrameOverhead is the per-record framing cost in WAL bytes (length +
+// CRC header); a cursor advances by FrameOverhead + payload length per
+// record.
+const FrameOverhead = frameHedLen
+
+// Typed ReadWAL failures, so a replication feed can tell a follower
+// whether its cursor is permanently unservable.
+var (
+	// ErrCursorGone means the cursor's segment was truncated away by a
+	// checkpoint: the history below it no longer exists on this leader.
+	ErrCursorGone = fmt.Errorf("storage: cursor no longer in the WAL")
+	// ErrCursorInvalid means the cursor points ahead of the durable tail
+	// or into a segment this store never wrote — the follower's history
+	// is not a prefix of this store's.
+	ErrCursorInvalid = fmt.Errorf("storage: cursor not at a valid WAL position")
+)
+
+// WALWindow is one ReadWAL result.
+type WALWindow struct {
+	// Frames holds zero or more complete framed records starting at the
+	// requested cursor (never a partial frame).
+	Frames []byte
+	// Next is the cursor after consuming Frames. With empty Frames it
+	// may still advance — across a rotated segment boundary — or equal
+	// the request cursor, meaning the follower is caught up.
+	Next Cursor
+	// Tip is the durable tail of the WAL at read time.
+	Tip Cursor
+	// LagBytes is the acknowledged record bytes between Next and Tip
+	// (segment headers excluded): 0 means Next is fully caught up.
+	LagBytes int64
+}
+
+// TailCursor returns the durable tail of the WAL: the cursor a fully
+// caught-up follower holds. Everything below it is acknowledged and
+// fsynced (under NoSync: written).
+func (s *Store) TailCursor() Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Cursor{Seg: s.segSeq, Off: s.segSizes[s.segSeq]}
+}
+
+// lagAfterLocked returns the acknowledged record bytes between c and
+// the tail. Caller holds mu; c must be within the live WAL.
+func (s *Store) lagAfterLocked(c Cursor) int64 {
+	lag := s.segSizes[c.Seg] - c.Off
+	for seq, sz := range s.segSizes {
+		if seq > c.Seg {
+			lag += sz - walHeaderLen
+		}
+	}
+	return lag
+}
+
+// ReadWAL returns up to maxBytes of framed records starting at c,
+// never splitting a frame and never crossing a segment boundary (a
+// response per segment keeps cursor arithmetic trivial for the
+// consumer). A cursor at the end of a rotated segment advances to the
+// next segment's first record position with empty Frames. Only
+// acknowledged bytes are served: the window never includes a record
+// whose Append has not returned. maxBytes ≤ 0 means 1 MiB; a single
+// frame larger than maxBytes is returned whole.
+func (s *Store) ReadWAL(c Cursor, maxBytes int) (WALWindow, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	if c.Off < walHeaderLen {
+		c.Off = walHeaderLen
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return WALWindow{}, fmt.Errorf("storage: read on closed store")
+	}
+	size, ok := s.segSizes[c.Seg]
+	if !ok {
+		defer s.mu.Unlock()
+		if c.Seg > s.segSeq {
+			return WALWindow{}, fmt.Errorf("%w: segment %d is ahead of the tail segment %d", ErrCursorInvalid, c.Seg, s.segSeq)
+		}
+		if _, live := s.segSizes[c.Seg+1]; c == s.truncTail && live {
+			// The cursor is the exact tail of the newest checkpointed-away
+			// segment: the follower has everything the segment held, so
+			// the truncation lost it nothing — hop over the boundary
+			// instead of stranding a fully caught-up replica.
+			next := Cursor{Seg: c.Seg + 1, Off: walHeaderLen}
+			return WALWindow{Next: next, Tip: Cursor{Seg: s.segSeq, Off: s.segSizes[s.segSeq]}, LagBytes: s.lagAfterLocked(next)}, nil
+		}
+		return WALWindow{}, fmt.Errorf("%w: segment %d was truncated by a checkpoint", ErrCursorGone, c.Seg)
+	}
+	if c.Off > size {
+		s.mu.Unlock()
+		return WALWindow{}, fmt.Errorf("%w: offset %d past segment %d durable end %d", ErrCursorInvalid, c.Off, c.Seg, size)
+	}
+	tailSeq := s.segSeq
+	if c.Off == size {
+		defer s.mu.Unlock()
+		next := c
+		if c.Seg < tailSeq {
+			next = Cursor{Seg: c.Seg + 1, Off: walHeaderLen}
+		}
+		return WALWindow{Next: next, Tip: Cursor{Seg: tailSeq, Off: s.segSizes[tailSeq]}, LagBytes: s.lagAfterLocked(next)}, nil
+	}
+	s.mu.Unlock()
+
+	// Read outside the lock: the acknowledged prefix of a segment is
+	// immutable, so a concurrent Append cannot change the bytes below
+	// size. The file can only disappear wholesale (checkpoint
+	// truncation), which maps to ErrCursorGone.
+	avail := size - c.Off
+	want := int64(maxBytes)
+	if want > avail {
+		want = avail
+	}
+	buf, err := s.readSegmentAt(c.Seg, c.Off, want)
+	if err != nil {
+		return WALWindow{}, err
+	}
+	valid, first := frameAlign(buf)
+	if valid == 0 && first > 0 && int64(first) <= avail {
+		// The first frame is larger than maxBytes: serve it whole, or the
+		// feed would stall forever.
+		if buf, err = s.readSegmentAt(c.Seg, c.Off, int64(first)); err != nil {
+			return WALWindow{}, err
+		}
+		valid, _ = frameAlign(buf)
+	}
+	if valid == 0 {
+		// Acknowledged bytes must frame-align; anything else is on-disk
+		// corruption of a region replay would also reject.
+		return WALWindow{}, corruptf("segment %d misframed at offset %d", c.Seg, c.Off)
+	}
+	next := Cursor{Seg: c.Seg, Off: c.Off + int64(valid)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	win := WALWindow{
+		Frames: buf[:valid],
+		Next:   next,
+		Tip:    Cursor{Seg: s.segSeq, Off: s.segSizes[s.segSeq]},
+	}
+	if _, live := s.segSizes[next.Seg]; live {
+		win.LagBytes = s.lagAfterLocked(next)
+	}
+	return win, nil
+}
+
+// readSegmentAt reads n bytes of segment seq starting at off.
+func (s *Store) readSegmentAt(seq uint64, off, n int64) ([]byte, error) {
+	f, err := os.Open(filepath.Join(s.dir, segName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: segment %d was truncated by a checkpoint", ErrCursorGone, seq)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: segment %d read at %d: %w", seq, off, err)
+	}
+	return buf, nil
+}
+
+// frameAlign returns the length of the longest complete-frame prefix
+// of buf, plus the total size of the first frame when it extends past
+// buf (0 when even its header is incomplete).
+func frameAlign(buf []byte) (valid, firstFrame int) {
+	off := 0
+	for {
+		if len(buf)-off < frameHedLen {
+			return off, 0
+		}
+		ln := int(readU32(buf[off:]))
+		if ln < 0 || ln > maxRecordSize {
+			return off, 0
+		}
+		total := frameHedLen + ln
+		if len(buf)-off < total {
+			if off == 0 {
+				return 0, total
+			}
+			return off, 0
+		}
+		off += total
+	}
+}
+
+// SplitFrames splits a replication-feed byte stream into its record
+// payloads, stopping at the first frame that is truncated, oversized,
+// or fails its CRC — the consumer applies the valid prefix and retries
+// from there, so a torn response can never apply a partial record.
+// The payloads alias data. consumed is the byte length of the valid
+// prefix (always a sum of whole frames).
+func SplitFrames(data []byte) (payloads [][]byte, consumed int) {
+	off := 0
+	for {
+		if len(data)-off < frameHedLen {
+			return payloads, off
+		}
+		ln := int(readU32(data[off:]))
+		wantCRC := readU32(data[off+4:])
+		if ln < 0 || ln > maxRecordSize || len(data)-off-frameHedLen < ln {
+			return payloads, off
+		}
+		payload := data[off+frameHedLen : off+frameHedLen+ln]
+		if crcOf(payload) != wantCRC {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHedLen + ln
+	}
+}
+
+// DecodeBatch decodes one WAL record payload (as served by ReadWAL and
+// split by SplitFrames) into its mutation batch.
+func DecodeBatch(payload []byte) ([]Mutation, error) { return decodeBatch(payload) }
+
+// AppendNotify returns a channel closed after the next successful
+// append or WAL rotation — the long-poll wakeup for a replication
+// feed. Obtain the channel before reading, so an append landing
+// between the read and the wait is never missed.
+func (s *Store) AppendNotify() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notifyCh == nil {
+		s.notifyCh = make(chan struct{})
+	}
+	return s.notifyCh
+}
+
+// signalAppendLocked wakes AppendNotify waiters. Caller holds mu.
+func (s *Store) signalAppendLocked() {
+	if s.notifyCh != nil {
+		close(s.notifyCh)
+		s.notifyCh = nil
+	}
+}
+
+// ID returns the store's stable random identity, created at first Open
+// and persisted in the directory. A replication follower records its
+// leader's ID and refuses a feed whose identity changed — a cursor is
+// only meaningful against the exact WAL history that produced it.
+func (s *Store) ID() uint64 { return s.id }
+
+const storeIDFile = "store-id"
+
+func loadOrCreateStoreID(dir string, sync bool) (uint64, error) {
+	path := filepath.Join(dir, storeIDFile)
+	if b, err := os.ReadFile(path); err == nil {
+		v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 16, 64)
+		if perr != nil || v == 0 {
+			return 0, corruptf("store-id file %q", strings.TrimSpace(string(b)))
+		}
+		return v, nil
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(b[:]) | 1 // zero is reserved for "unknown"
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%016x\n", v)), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if sync {
+		if err := syncDir(dir); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// truncTailFile records the exact end position of the newest WAL
+// segment a checkpoint removed. A fully caught-up follower's cursor
+// sits precisely there, so without this marker every checkpoint (and
+// in particular the one every graceful shutdown takes) would strand
+// all caught-up replicas behind ErrCursorGone. ReadWAL uses it to
+// serve the rotation hop instead. Best-effort: a missing or stale file
+// only costs a replica an avoidable re-seed, never correctness — the
+// hop is served solely when the successor segment is still live.
+const truncTailFile = "wal-trunc"
+
+func saveTruncTail(dir string, c Cursor, sync bool) error {
+	path := filepath.Join(dir, truncTailFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d %d\n", c.Seg, c.Off)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+func loadTruncTail(dir string) (Cursor, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, truncTailFile))
+	if err != nil {
+		return Cursor{}, false
+	}
+	var c Cursor
+	if _, err := fmt.Sscanf(string(b), "%d %d", &c.Seg, &c.Off); err != nil || c.Seg == 0 || c.Off < walHeaderLen {
+		return Cursor{}, false
+	}
+	return c, true
+}
+
+// ReplayedCursor returns the newest KindCursor mark found during
+// Open's WAL replay, if any: the exact leader position covered by this
+// follower's recovered state. No mark (fresh directory, or every mark
+// truncated by a checkpoint) means the caller falls back to its
+// sidecar state.
+func (s *Store) ReplayedCursor() (Cursor, bool) {
+	return s.replCursor, s.hasReplCursor
+}
+
+// DirHasStore reports whether dir holds an existing store (WAL
+// segments or checkpoint state) — used by a replica bootstrap to
+// refuse adopting a directory whose history it knows nothing about.
+func DirHasStore(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if _, ok := parseSeq(name, "wal-", ".log"); ok {
+			return true, nil
+		}
+		if _, ok := parseSeq(name, "manifest-", ".mf"); ok {
+			return true, nil
+		}
+		if _, ok := parseSeq(name, "checkpoint-", ".ckpt"); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// --- initial-sync snapshot stream ---
+//
+// Layout: [u32 manifestLen][u32 crc32c(manifest)][manifest payload]
+// followed by the chunk records the manifest references, in reference
+// order, in the exact chunks-<gen>.gyo record format. The manifest is
+// encoded against generation 1 with offsets precomputed for the file
+// the follower will write, so installing the stream yields a directory
+// indistinguishable from one that checkpointed locally.
+
+// WriteReplSnapshot streams db as an initial-sync package: manifest
+// first, then every referenced chunk record. db must be frozen (it is
+// only read, but the stream may take a while to write).
+func WriteReplSnapshot(w io.Writer, db *relation.Database) error {
+	rels := db.Rels
+	if db.Univ != nil {
+		rels = append(append([]*relation.Relation(nil), db.Rels...), db.Univ)
+	}
+	type planned struct {
+		id    uint64
+		block []relation.Value
+	}
+	refs := make(map[uint64]chunkRef)
+	var order []planned
+	off := int64(chunkStoreHeaderLen)
+	for _, r := range rels {
+		r.ForEachFullChunk(func(id uint64, block []relation.Value) bool {
+			if _, ok := refs[id]; ok {
+				return true
+			}
+			ln := int64(len(block)) * relation.ValueBytes
+			refs[id] = chunkRef{off: off, ln: ln}
+			order = append(order, planned{id: id, block: block})
+			off += chunkRecHeaderLen + ln
+			return true
+		})
+	}
+	payload, err := appendManifest(nil, db, 1, func(id uint64) (chunkRef, bool) {
+		ref, ok := refs[id]
+		return ref, ok
+	})
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("storage: snapshot manifest of %d bytes exceeds cap %d", len(payload), maxRecordSize)
+	}
+	var hdr [8]byte
+	putU32(hdr[0:], uint32(len(payload)))
+	putU32(hdr[4:], crcOf(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var rec []byte
+	for _, p := range order {
+		rec = appendChunkRecord(rec[:0], p.id, p.block)
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallReplSnapshot materializes a WriteReplSnapshot stream into dir
+// as Open-compatible state: chunks-…0001.gyo plus manifest-…0001.mf
+// (sequence 1, so the follower's own WAL starts at segment 1). Every
+// chunk record's CRC is verified in transit, and a torn or corrupt
+// stream removes its partial files and errors — the directory is left
+// without store state, safe to re-bootstrap. Open performs the full
+// manifest/chunk verification afterwards.
+func InstallReplSnapshot(dir string, r io.Reader) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	chunkPath := filepath.Join(dir, chunkStoreName(1))
+	manPath := filepath.Join(dir, manName(1))
+	defer func() {
+		if err != nil {
+			os.Remove(chunkPath)
+			os.Remove(manPath)
+		}
+	}()
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("storage: snapshot stream header: %w", err)
+	}
+	mlen := int(readU32(hdr[0:]))
+	if mlen < 0 || mlen > maxRecordSize {
+		return corruptf("snapshot manifest length %d", mlen)
+	}
+	payload := make([]byte, mlen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return fmt.Errorf("storage: snapshot manifest body: %w", err)
+	}
+	if crcOf(payload) != readU32(hdr[4:]) {
+		return corruptf("snapshot manifest CRC mismatch")
+	}
+
+	f, err := os.OpenFile(chunkPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			f.Close()
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(chunkMagic); err != nil {
+		return err
+	}
+	var rh [chunkRecHeaderLen]byte
+	var body []byte
+	for {
+		if _, rerr := io.ReadFull(br, rh[:]); rerr != nil {
+			if rerr == io.EOF {
+				break // clean end on a record boundary
+			}
+			return fmt.Errorf("storage: snapshot chunk header: %w", rerr)
+		}
+		ln := int(readU32(rh[8:]))
+		if ln < 0 || ln > maxRecordSize {
+			return corruptf("snapshot chunk length %d", ln)
+		}
+		if cap(body) < ln {
+			body = make([]byte, ln)
+		}
+		body = body[:ln]
+		if _, rerr := io.ReadFull(br, body); rerr != nil {
+			return fmt.Errorf("storage: snapshot chunk body: %w", rerr)
+		}
+		if crcOf(body) != readU32(rh[12:]) {
+			return corruptf("snapshot chunk %d CRC mismatch", readU64(rh[:]))
+		}
+		if _, err := bw.Write(rh[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(body); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	closed = true
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	tmp := manPath + ".tmp"
+	if err := writeSnapshotFile(tmp, manMagic, 1, payload, true); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, manPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}

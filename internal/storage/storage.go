@@ -130,8 +130,14 @@ type Store struct {
 	segSizes map[uint64]int64 // live segment → size in bytes
 	walBytes int64
 	closed   bool
-	failed   error    // set when a write error left the WAL unappendable
-	lockf    *os.File // exclusive directory lock (nil on non-unix)
+	failed   error         // set when a write error left the WAL unappendable
+	lockf    *os.File      // exclusive directory lock (nil on non-unix)
+	notifyCh chan struct{} // closed+replaced on append/rotation; see AppendNotify
+
+	id            uint64 // stable random store identity (store-id file)
+	replCursor    Cursor // newest KindCursor mark seen during replay
+	hasReplCursor bool
+	truncTail     Cursor // end of the newest checkpointed-away segment (wal-trunc file)
 
 	appends       uint64
 	replayed      uint64
@@ -353,6 +359,9 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 		validLen, clean, err := replaySegment(data, func(muts []Mutation) error {
 			for _, m := range muts {
+				if m.Kind == KindCursor {
+					s.replCursor, s.hasReplCursor = m.Cursor, true
+				}
 				var aerr error
 				if db, _, aerr = m.apply(db, true); aerr != nil {
 					return aerr
@@ -469,6 +478,12 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 	}
 
+	if s.id, err = loadOrCreateStoreID(dir, !opt.NoSync); err != nil {
+		return nil, err
+	}
+	if c, ok := loadTruncTail(dir); ok {
+		s.truncTail = c
+	}
 	s.db = db
 	s.empty = !ckptLoaded && s.replayed == 0
 	s.lockf = lockf
@@ -570,6 +585,7 @@ func (s *Store) Append(muts []Mutation) error {
 	s.segSizes[s.segSeq] += int64(len(frame))
 	s.walBytes += int64(len(frame))
 	s.appends++
+	s.signalAppendLocked()
 	s.mAppendSec.Observe(time.Since(t0).Seconds())
 	s.mAppendBytes.Observe(float64(len(frame)))
 	return nil
@@ -680,6 +696,9 @@ func (s *Store) BeginCheckpoint() (uint64, error) {
 		s.lastCkptErr = err.Error()
 		return 0, err
 	}
+	// Wake replication long-pollers: a caught-up follower parked at the
+	// end of the old segment must learn the tail moved to a new one.
+	s.signalAppendLocked()
 	return s.segSeq, nil
 }
 
@@ -913,9 +932,13 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 	// and chunk-store generations.
 	s.mu.Lock()
 	var drop []uint64
+	var tail Cursor
 	for sseq := range s.segSizes {
 		if sseq < seq {
 			drop = append(drop, sseq)
+			if sseq > tail.Seg {
+				tail = Cursor{Seg: sseq, Off: s.segSizes[sseq]}
+			}
 		}
 	}
 	for _, sseq := range drop {
@@ -923,7 +946,17 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 		s.walBytes -= s.segSizes[sseq]
 		delete(s.segSizes, sseq)
 	}
+	if tail.Seg != 0 {
+		s.truncTail = tail
+	}
 	s.mu.Unlock()
+	if tail.Seg != 0 {
+		// Persist the truncated tail so a caught-up follower survives a
+		// leader restart right after this checkpoint (the graceful
+		// shutdown path). Best-effort: failure costs a replica re-seed,
+		// not data.
+		_ = saveTruncTail(s.dir, tail, !s.opt.NoSync)
+	}
 	if ents, derr := os.ReadDir(s.dir); derr == nil {
 		for _, e := range ents {
 			if cseq, ok := parseSeq(e.Name(), "checkpoint-", ".ckpt"); ok && cseq < seq {
@@ -973,6 +1006,20 @@ func (s *Store) Stats() Stats {
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Healthy returns nil while the store can accept appends; a closed or
+// write-poisoned store returns why it cannot. Feeds /v1/healthz.
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("store failed: %w", s.failed)
+	}
+	return nil
+}
 
 // Synced reports whether appends are fsynced before acknowledgment.
 // With Options.NoSync the log still survives a process crash (the page
