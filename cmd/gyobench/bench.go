@@ -160,6 +160,7 @@ func gate(baselinePath, pattern string, maxRegress float64) error {
 		curByName[e.Name] = e
 	}
 	var failures []string
+	var failedNames []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		if re.MatchString(b.Name) {
@@ -176,6 +177,7 @@ func gate(baselinePath, pattern string, maxRegress float64) error {
 		c, ok := curByName[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			failedNames = append(failedNames, name)
 			continue
 		}
 		ratio := c.NsPerOp / b.NsPerOp
@@ -184,6 +186,7 @@ func gate(baselinePath, pattern string, maxRegress float64) error {
 			status = "REGRESSED"
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx)",
 				name, c.NsPerOp, b.NsPerOp, ratio, maxRegress))
+			failedNames = append(failedNames, name)
 		}
 		fmt.Printf("%-60s %12.0f %12.0f %8.2fx  %s\n", name, b.NsPerOp, c.NsPerOp, ratio, status)
 	}
@@ -191,9 +194,38 @@ func gate(baselinePath, pattern string, maxRegress float64) error {
 		return fmt.Errorf("gate pattern %q matches no baseline benchmarks", pattern)
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed >%.0f%%:\n  %s",
-			len(failures), (maxRegress-1)*100, strings.Join(failures, "\n  "))
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%% in famil%s %s:\n  %s",
+			len(failures), (maxRegress-1)*100,
+			plural(benchFamilies(failedNames), "y", "ies"),
+			strings.Join(benchFamilies(failedNames), ", "),
+			strings.Join(failures, "\n  "))
 	}
 	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of baseline\n", len(names), (maxRegress-1)*100)
 	return nil
+}
+
+// benchFamilies reduces full benchmark names to their top-level family
+// (the segment before the first '/'), deduplicated and sorted, so a
+// gate failure names the families that regressed without the reader
+// having to parse the per-benchmark lines.
+func benchFamilies(names []string) []string {
+	seen := map[string]bool{}
+	var fams []string
+	for _, n := range names {
+		fam, _, _ := strings.Cut(n, "/")
+		if !seen[fam] {
+			seen[fam] = true
+			fams = append(fams, fam)
+		}
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+// plural picks the singular or plural suffix by element count.
+func plural[T any](s []T, one, many string) string {
+	if len(s) == 1 {
+		return one
+	}
+	return many
 }

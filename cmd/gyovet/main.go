@@ -1,0 +1,235 @@
+// Command gyovet is gyokit's custom static-analysis driver: it runs
+// the internal/analysis suite (frozenmut, atomicsnap, errenvelope,
+// ackorder, metricname, nodefaultmux, droppederr) over the tree and
+// fails on any unsuppressed finding.
+//
+// Two modes share the analyzers:
+//
+//	gyovet [packages...]           standalone: loads packages via the
+//	                               go command (default ./...)
+//	go vet -vettool=<gyovet> ./... build-integrated: gyovet speaks the
+//	                               vet tool protocol (-V=full, -flags,
+//	                               unit.cfg) so findings cache per
+//	                               package and cover _test.go units
+//
+// Suppress a finding with `//gyo:nolint <analyzer> <reason>` on the
+// offending line; the reason is mandatory (a bare nolint is itself an
+// unsuppressable finding). See README.md "Static analysis".
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"gyokit/internal/analysis"
+)
+
+func main() {
+	log := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gyovet: "+format+"\n", args...)
+	}
+
+	var (
+		vFlag     = flag.String("V", "", "print version and exit (vet tool protocol)")
+		flagsFlag = flag.Bool("flags", false, "print flag descriptions in JSON and exit (vet tool protocol)")
+		listFlag  = flag.Bool("list", false, "list analyzers and exit")
+		pathFlag  = flag.Bool("print-path", false, "print this executable's path and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		// `go vet` hashes this line into its build cache key; the
+		// content hash makes a rebuilt gyovet invalidate cached vet
+		// results (the "devel" form requires a buildID= suffix).
+		fmt.Printf("gyovet version 1.0.0-%s\n", selfHash())
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	case *listFlag:
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	case *pathFlag:
+		exe, err := os.Executable()
+		if err != nil {
+			log("%v", err)
+			os.Exit(1)
+		}
+		fmt.Println(exe)
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], log))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, log))
+}
+
+// selfHash returns a short content hash of the running executable.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// runStandalone loads the named packages from source and reports
+// findings. Exit status 1 = findings, 2 = driver failure.
+func runStandalone(patterns []string, log func(string, ...any)) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		log("%v", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		log("%v", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.All())
+		if err != nil {
+			log("%s: %v", pkg.Path, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d.Format(pkg.Fset))
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig is the JSON compilation-unit description `go vet` hands to
+// a -vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile.
+func runUnit(cfgFile string, log func(string, ...any)) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log("%v", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log("decoding %s: %v", cfgFile, err)
+		return 2
+	}
+	// The suite computes no cross-package facts, but the go command
+	// caches the fact ("vetx") output file per dependency; writing an
+	// empty one keeps those invocations cached and instant.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log("%v", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log("%v", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[ip]; ok {
+				ip = mapped
+			}
+			return compilerImporter.Import(ip)
+		}),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewTypesInfo()
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log("%v", err)
+		return 2
+	}
+	diags, err := analysis.RunPackage(&analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, analysis.All())
+	if err != nil {
+		log("%s: %v", cfg.ImportPath, err)
+		return 2
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.Format(fset))
+		exit = 1
+	}
+	return exit
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,177 @@
+package main
+
+// End-to-end tests of the `go vet -vettool` protocol: build the real
+// gyovet binary, point `go vet` at it from a scratch module, and
+// assert red (seeded violation fails the build with the analyzer name
+// in the output) and green (clean module passes).
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildGyovet compiles the gyovet binary once per test run.
+func buildGyovet(t *testing.T) string {
+	t.Helper()
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "gyovet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/gyovet")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building gyovet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a scratch module for `go vet` to chew on.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, dir, vettool string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+const scratchGoMod = "module scratchvet\n\ngo 1.23\n"
+
+func TestVettoolFailsOnViolation(t *testing.T) {
+	bin := buildGyovet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": scratchGoMod,
+		"main.go": `package main
+
+import "net/http"
+
+func main() {
+	http.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {})
+	_ = http.ListenAndServe(":0", nil)
+}
+`,
+	})
+	out, err := runVet(t, dir, bin)
+	if err == nil {
+		t.Fatalf("go vet passed on a module with seeded violations; output:\n%s", out)
+	}
+	if !strings.Contains(out, "[nodefaultmux]") {
+		t.Fatalf("vet output does not name the nodefaultmux analyzer:\n%s", out)
+	}
+	if strings.Count(out, "[nodefaultmux]") != 2 {
+		t.Errorf("want 2 nodefaultmux findings (HandleFunc + nil handler), output:\n%s", out)
+	}
+}
+
+func TestVettoolPassesCleanModule(t *testing.T) {
+	bin := buildGyovet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": scratchGoMod,
+		"main.go": `package main
+
+import "net/http"
+
+func main() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {})
+	srv := &http.Server{Addr: ":0", Handler: mux}
+	_ = srv.ListenAndServe()
+}
+`,
+	})
+	if out, err := runVet(t, dir, bin); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+func TestVettoolHonorsNolint(t *testing.T) {
+	bin := buildGyovet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": scratchGoMod,
+		"main.go": `package main
+
+import "net/http"
+
+func main() {
+	http.HandleFunc("/", nil) //gyo:nolint nodefaultmux scratch fixture proving suppression end to end
+}
+`,
+	})
+	if out, err := runVet(t, dir, bin); err != nil {
+		t.Fatalf("go vet did not honor a reasoned //gyo:nolint: %v\n%s", err, out)
+	}
+
+	bare := writeModule(t, map[string]string{
+		"go.mod": scratchGoMod,
+		"main.go": `package main
+
+import "net/http"
+
+func main() {
+	http.HandleFunc("/", nil) //gyo:nolint nodefaultmux
+}
+`,
+	})
+	out, err := runVet(t, bare, bin)
+	if err == nil {
+		t.Fatalf("bare //gyo:nolint (no reason) must fail the build; output:\n%s", out)
+	}
+	if !strings.Contains(out, "[nolint]") {
+		t.Errorf("bare directive not reported by the nolint pseudo-analyzer:\n%s", out)
+	}
+	if !strings.Contains(out, "[nodefaultmux]") {
+		t.Errorf("bare directive must not suppress the underlying finding:\n%s", out)
+	}
+}
+
+// TestVersionFlag locks the -V=full contract the go command depends on
+// for its build cache: ≥3 fields, literal "version", and a
+// content-derived final field so a rebuilt gyovet invalidates cached
+// vet results.
+func TestVersionFlag(t *testing.T) {
+	bin := buildGyovet(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("gyovet -V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[0] != "gyovet" || f[1] != "version" {
+		t.Fatalf("-V=full output %q; want \"gyovet version <ver>\"", out)
+	}
+	if f[2] == "devel" {
+		t.Fatalf("-V=full reports %q; a bare \"devel\" version defeats go vet result caching", f[2])
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	bin := buildGyovet(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("gyovet -flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("gyovet -flags = %q, want \"[]\"", got)
+	}
+}

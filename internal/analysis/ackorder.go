@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AckOrder machine-checks the durability ordering that makes the
+// engine's acknowledgements honest: on a durable-write path the WAL
+// append happens-before the snapshot publish (PR 4's
+// append-then-publish contract). Within each function of the storage /
+// repl / engine packages it locates
+//
+//   - durable appends: calls to a method named Append or
+//     WriteCheckpoint on a type declared in the storage package, and
+//   - publishes: Store or Swap on a sync/atomic struct field, or a
+//     call to a function literally named publish,
+//
+// and flags the function when a publish lexically precedes the first
+// append. Functions with only one of the two (pure readers, Swap on
+// the non-durable path) are out of scope; the check fires exactly when
+// a refactor reorders an existing append-then-publish pair.
+var AckOrder = &Analyzer{
+	Name: "ackorder",
+	Doc:  "durable-write paths append to the WAL before publishing the snapshot (append happens-before ack)",
+	Run:  runAckOrder,
+}
+
+// ackOrderPackages are the package names the ordering contract spans.
+var ackOrderPackages = map[string]bool{
+	"storage": true,
+	"repl":    true,
+	"engine":  true,
+}
+
+func runAckOrder(pass *Pass) error {
+	if !ackOrderPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcScope(f, func(_ string, body *ast.BlockStmt) {
+			firstAppend := token.NoPos
+			firstPublish := token.NoPos
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, _ := methodOf(pass.Info, call); fn != nil {
+					name := fn.Name()
+					if (name == "Append" || name == "WriteCheckpoint") && pkgNameOf(fn) == "storage" {
+						if !firstAppend.IsValid() {
+							firstAppend = call.Pos()
+						}
+						return true
+					}
+					if name == "Store" || name == "Swap" {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+							if inner, ok := sel.X.(*ast.SelectorExpr); ok && atomicField(pass.Info, inner) {
+								if !firstPublish.IsValid() {
+									firstPublish = call.Pos()
+								}
+							}
+						}
+						return true
+					}
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "publish" {
+					if !firstPublish.IsValid() {
+						firstPublish = call.Pos()
+					}
+				}
+				return true
+			})
+			if firstAppend.IsValid() && firstPublish.IsValid() && firstPublish < firstAppend {
+				pass.Reportf(firstPublish,
+					"snapshot published before the WAL append later in this function; durable writes must append (and fsync) before they become visible")
+			}
+		})
+	}
+	return nil
+}

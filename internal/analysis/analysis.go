@@ -1,0 +1,81 @@
+// Package analysis is gyokit's custom static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (the container build is offline, so the real
+// framework is unavailable) plus seven analyzers that machine-check
+// the engine's load-bearing conventions — the invariants the paper's
+// "prove it from structure" stance says should never rest on reviewer
+// vigilance:
+//
+//   - frozenmut:    no mutating Relation/Database method on a value
+//     that flows from Freeze/Snapshot/Renamed
+//   - atomicsnap:   atomic.* struct fields only touched through their
+//     methods (the engine's snapshot pointer above all)
+//   - errenvelope:  HTTP handlers report errors only via the /v1
+//     error-envelope writer, never http.Error or a bare 4xx/5xx
+//     WriteHeader
+//   - ackorder:     on durable-write paths the WAL append lexically
+//     precedes the snapshot publish (append happens-before ack)
+//   - metricname:   metric names are compile-time constants matching
+//     ^gyo_[a-z0-9_]+$ and each constant series registers once
+//   - nodefaultmux: nothing ever lands on http.DefaultServeMux
+//   - droppederr:   no statement-level discard of an error returned by
+//     module code (or os.File Sync/Close)
+//
+// Findings are suppressed per line with
+//
+//	//gyo:nolint <analyzer>[,<analyzer>] <reason>
+//
+// where the reason is mandatory: a bare nolint is itself a finding
+// that cannot be suppressed. The suite runs standalone (Load +
+// RunPackage, see cmd/gyovet) and as a `go vet -vettool` backend.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named check. Run inspects a fully
+// type-checked package through the Pass and reports findings; it
+// returns an error only for internal failures (a finding is not an
+// error).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in nolint directives
+	Doc  string // one-paragraph description of the guarded invariant
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: an analyzer name, a position, and a
+// message. Position is resolved against the pass's FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// String formats the diagnostic with a resolved position.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

@@ -1,0 +1,406 @@
+package analysis
+
+// The analysistest harness: each analyzer runs over seeded fixture
+// packages under testdata/src, and every `// want `+"`regex`"+``
+// comment must be matched by a diagnostic on its line (red), while any
+// diagnostic without a matching want fails the test (green). Fixture
+// dependencies that mirror real gyokit packages live under
+// testdata/src/gyokit and are type-checked from source; stdlib imports
+// come from compiler export data produced locally by `go list -export`.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFrozenMut(t *testing.T)    { runFixture(t, FrozenMut, "frozenmut") }
+func TestAtomicSnap(t *testing.T)   { runFixture(t, AtomicSnap, "atomicsnap") }
+func TestErrEnvelope(t *testing.T)  { runFixture(t, ErrEnvelope, "errenvelope") }
+func TestAckOrder(t *testing.T)     { runFixture(t, AckOrder, "ackorder/storage", "ackorder/other") }
+func TestMetricName(t *testing.T)   { runFixture(t, MetricName, "metricname") }
+func TestNoDefaultMux(t *testing.T) { runFixture(t, NoDefaultMux, "nodefaultmux") }
+func TestDroppedErr(t *testing.T)   { runFixture(t, DroppedErr, "gyokit/droppederr") }
+
+// TestNolint asserts the suppression contract by hand: a well-formed
+// same-line or standalone directive silences the finding, while a bare
+// directive (no reason) leaves the finding in place AND adds a
+// malformed-nolint finding — so a bare nolint can never make the build
+// green. The malformed finding is positioned on the directive comment
+// itself, where a want comment cannot sit, hence no want-matching here.
+func TestNolint(t *testing.T) {
+	w := fixtures(t)
+	pkg, err := w.load("nolint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{NoDefaultMux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(w.srcRoot, "nolint", "a.go")
+	bare := lineOf(t, file, `"/c"`)
+	for _, marker := range []string{`"/a"`, `"/b"`} {
+		line := lineOf(t, file, marker)
+		for _, d := range diags {
+			if pkg.Fset.Position(d.Pos).Line == line {
+				t.Errorf("finding on suppressed line %d (%s): %s [%s]", line, marker, d.Message, d.Analyzer)
+			}
+		}
+	}
+	var gotMux, gotNolint bool
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		switch {
+		case d.Analyzer == NoDefaultMux.Name && pos.Line == bare:
+			gotMux = true
+		case d.Analyzer == NolintName && pos.Line == bare && strings.Contains(d.Message, "malformed"):
+			gotNolint = true
+		default:
+			t.Errorf("unexpected diagnostic %s: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	if !gotMux {
+		t.Errorf("bare //gyo:nolint on line %d suppressed the underlying finding; it must not", bare)
+	}
+	if !gotNolint {
+		t.Errorf("bare //gyo:nolint on line %d produced no malformed-directive finding", bare)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("All() = %d analyzers, want 7", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: incomplete definition", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error(`ByName("nosuch") != nil`)
+	}
+}
+
+// TestGyovetSelfClean is the dogfood gate: the analyzer suite and the
+// gyovet driver must themselves pass the full suite with zero findings.
+func TestGyovetSelfClean(t *testing.T) {
+	assertClean(t, "./internal/analysis", "./cmd/gyovet")
+}
+
+// TestTreeClean asserts the whole module is finding-free: every real
+// finding on the tree has been fixed or carries a reasoned suppression.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	assertClean(t, "./...")
+}
+
+func assertClean(t *testing.T, patterns ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%v) matched no packages", patterns)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d.Format(pkg.Fset))
+		}
+	}
+}
+
+// runFixture loads each fixture package, runs exactly one analyzer
+// (plus nolint filtering via RunPackage), and cross-checks diagnostics
+// against the want comments in the fixture sources.
+func runFixture(t *testing.T, a *Analyzer, paths ...string) {
+	t.Helper()
+	w := fixtures(t)
+	totalWants := 0
+	for _, path := range paths {
+		pkg, err := w.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := RunPackage(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		var wants []*want
+		for _, f := range pkg.Files {
+			ws, err := parseWants(pkg.Fset.Position(f.Pos()).Filename)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			matched := false
+			for _, wt := range wants {
+				if wt.file == pos.Filename && wt.line == pos.Line && wt.re.MatchString(d.Message) {
+					wt.matched = true
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic %s: %s [%s]", pos, d.Message, d.Analyzer)
+			}
+		}
+		for _, wt := range wants {
+			if !wt.matched {
+				t.Errorf("%s:%d: no diagnostic matched `%s` — the seeded violation went undetected",
+					wt.file, wt.line, wt.raw)
+			}
+		}
+		totalWants += len(wants)
+	}
+	if totalWants == 0 {
+		t.Fatalf("%s fixtures carry no want expectations; the red half of red→green is gone", a.Name)
+	}
+}
+
+// want is one expectation from a fixture comment:
+//
+//	code // want `regexp` `another regexp`
+//
+// Each backquoted regexp must match a diagnostic message reported on
+// that line; a want can absorb several identical diagnostics.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var (
+	wantRE    = regexp.MustCompile("// want ((?:`[^`]*`[ \t]*)+)")
+	wantPatRE = regexp.MustCompile("`[^`]*`")
+)
+
+func parseWants(file string) ([]*want, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, p := range wantPatRE.FindAllString(m[1], -1) {
+			raw := p[1 : len(p)-1]
+			re, err := regexp.Compile(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", file, i+1, raw, err)
+			}
+			wants = append(wants, &want{file: file, line: i + 1, re: re, raw: raw})
+		}
+	}
+	return wants, nil
+}
+
+// lineOf returns the 1-based line of the first occurrence of substr in
+// file, so tests track fixture edits without hard-coded line numbers.
+func lineOf(t *testing.T, file, substr string) int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: marker %q not found", file, substr)
+	return 0
+}
+
+// fixtureWorld type-checks testdata/src packages: fixture import paths
+// resolve from source under srcRoot (recursively, cached), everything
+// else from compiler export data listed once via the go command.
+type fixtureWorld struct {
+	srcRoot string
+	fset    *token.FileSet
+	gc      types.Importer
+	pkgs    map[string]*Package
+}
+
+var (
+	worldOnce sync.Once
+	world     *fixtureWorld
+	worldErr  error
+)
+
+func fixtures(t *testing.T) *fixtureWorld {
+	t.Helper()
+	worldOnce.Do(func() { world, worldErr = newFixtureWorld() })
+	if worldErr != nil {
+		t.Fatalf("building fixture world: %v", worldErr)
+	}
+	return world
+}
+
+func newFixtureWorld() (*fixtureWorld, error) {
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		return nil, err
+	}
+	w := &fixtureWorld{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*Package{},
+	}
+	ext, err := w.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	exportFile := map[string]string{}
+	if len(ext) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, ext...)
+		metas, err := runGoList(srcRoot, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metas {
+			if m.Export != "" {
+				exportFile[m.ImportPath] = m.Export
+			}
+		}
+	}
+	w.gc = importer.ForCompiler(w.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return w, nil
+}
+
+// externalImports scans every fixture file for import paths that do
+// not resolve to a fixture directory — those must come from export
+// data and are handed to `go list` in one batch.
+func (w *fixtureWorld) externalImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(w.srcRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), p, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if w.isFixture(ip) {
+				continue
+			}
+			seen[ip] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (w *fixtureWorld) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(w.srcRoot, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// load parses and type-checks the fixture package at the given
+// testdata/src-relative import path, resolving fixture imports
+// recursively through itself.
+func (w *fixtureWorld) load(path string) (*Package, error) {
+	if p, ok := w.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(w.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(w.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	cfg := &types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if w.isFixture(ip) {
+				p, err := w.load(ip)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return w.gc.Import(ip)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := NewTypesInfo()
+	tpkg, err := cfg.Check(path, w.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: w.fset, Files: files, Types: tpkg, Info: info}
+	w.pkgs[path] = pkg
+	return pkg, nil
+}

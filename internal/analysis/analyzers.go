@@ -1,0 +1,24 @@
+package analysis
+
+// All returns the full gyovet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FrozenMut,
+		AtomicSnap,
+		ErrEnvelope,
+		AckOrder,
+		MetricName,
+		NoDefaultMux,
+		DroppedErr,
+	}
+}
+
+// ByName resolves an analyzer by its nolint/CLI name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AtomicSnap guards the engine's central concurrency convention: a
+// struct field of a sync/atomic type (above all the engine's
+// `db atomic.Pointer[relation.Database]` snapshot pointer) is only
+// ever touched through its methods — Load, Store, Swap,
+// CompareAndSwap. Any other appearance of the field — reading it as a
+// value, assigning over it, copying the containing struct through it,
+// capturing a method value, taking its address — bypasses the atomic
+// protocol (or copies a noCopy value) and is flagged.
+var AtomicSnap = &Analyzer{
+	Name: "atomicsnap",
+	Doc:  "sync/atomic struct fields are only accessed through their methods, never as raw values",
+	Run:  runAtomicSnap,
+}
+
+func runAtomicSnap(pass *Pass) error {
+	for _, f := range pass.Files {
+		par := parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !atomicField(pass.Info, sel) {
+				return true
+			}
+			// The only legal context: `x.field.Method(...)` — sel is
+			// the X of a method-selector whose parent is the call
+			// using it as Fun.
+			if outer, ok := par[sel].(*ast.SelectorExpr); ok && outer.X == sel {
+				if call, ok := par[outer].(*ast.CallExpr); ok && call.Fun == outer {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"atomic field %s: method value captured without being called; call it directly",
+					sel.Sel.Name)
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"raw access to atomic field %s; go through its Load/Store/Swap methods",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

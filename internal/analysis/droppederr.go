@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags statement-level calls that silently discard an
+// error returned by this module's own code (or by os.File Sync/Close,
+// the durability-critical stdlib pair): `s.Append(muts)` as a bare
+// statement acknowledges nothing and loses the one signal that the
+// write didn't happen. Scope is deliberately narrow to stay
+// noise-free:
+//
+//   - only callees declared in this module (import path "gyokit" or
+//     "gyokit/...", which also matches the analysistest fixtures) plus
+//     (*os.File).Sync and (*os.File).Close,
+//   - only bare expression statements — an explicit `_ = f()` states
+//     intent and a `defer f()` is the accepted best-effort-cleanup
+//     idiom, so neither is flagged.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no statement-level discard of an error returned by module code or os.File Sync/Close",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := methodOf(pass.Info, call)
+			if fn == nil {
+				fn = calleeFunc(pass.Info, call)
+			}
+			if fn == nil || !droppedErrScope(fn) {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is silently dropped; handle it or discard explicitly with _ =", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// droppedErrScope reports whether fn is within the analyzer's blast
+// radius: module code, or the durability-critical os.File pair.
+func droppedErrScope(fn *types.Func) bool {
+	path := pkgPathOf(fn)
+	if path == "gyokit" || strings.HasPrefix(path, "gyokit/") {
+		return true
+	}
+	if path == "os" && (fn.Name() == "Sync" || fn.Name() == "Close") {
+		return true
+	}
+	return false
+}
+
+// returnsError reports whether fn's last result is the builtin error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

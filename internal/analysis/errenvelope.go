@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrEnvelope enforces the /v1 API contract from PR 8: every error a
+// handler sends leaves through the uniform error-envelope writer
+// (writeError), which stamps the JSON envelope and the request id.
+// Two escapes are flagged anywhere outside the envelope writers
+// themselves:
+//
+//   - any call to net/http.Error, and
+//   - w.WriteHeader(status) on an http.ResponseWriter with a constant
+//     4xx/5xx status.
+//
+// Success-path WriteHeader calls (2xx/3xx, or computed statuses such
+// as proxied upstream codes) are untouched.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "HTTP handlers report errors only through the envelope writer, not http.Error or bare 4xx/5xx WriteHeader",
+	Run:  runErrEnvelope,
+}
+
+// envelopeWriters are the functions allowed to touch the raw error
+// response: the /v1 envelope writer itself.
+var envelopeWriters = map[string]bool{
+	"writeError": true,
+}
+
+func runErrEnvelope(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcScope(f, func(name string, body *ast.BlockStmt) {
+			if envelopeWriters[name] {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(pass.Info, call); fn != nil &&
+					fn.Name() == "Error" && pkgPathOf(fn) == "net/http" {
+					pass.Reportf(call.Pos(),
+						"http.Error bypasses the /v1 error envelope; use writeError")
+					return true
+				}
+				fn, recv := methodOf(pass.Info, call)
+				if fn == nil || fn.Name() != "WriteHeader" || len(call.Args) != 1 {
+					return true
+				}
+				if !isResponseWriter(pass.Info.TypeOf(recv)) {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+					return true
+				}
+				status, ok := constant.Int64Val(tv.Value)
+				if ok && status >= 400 {
+					pass.Reportf(call.Pos(),
+						"bare WriteHeader(%d) bypasses the /v1 error envelope; use writeError", status)
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isResponseWriter reports whether t is (or trivially wraps)
+// net/http.ResponseWriter: the interface itself, or a type whose
+// WriteHeader method is declared in net/http.
+func isResponseWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			if m.Name() == "WriteHeader" && pkgPathOf(m) == "net/http" {
+				return true
+			}
+		}
+	}
+	if named, ok := t.(*types.Named); ok {
+		return pkgPathOf(named.Obj()) == "net/http"
+	}
+	return false
+}

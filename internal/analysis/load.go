@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Load type-checks the packages matching patterns (resolved in dir,
+// e.g. "./...") and returns them ready for RunPackage. It is the
+// standalone-mode loader behind `gyovet ./...`: dependencies are
+// imported from compiler export data produced by `go list -export`
+// (built locally, no network), only the target packages themselves are
+// parsed from source. Test files are not loaded — `go vet
+// -vettool=gyovet` covers those compilation units.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exportFile := map[string]string{}
+	for _, m := range metas {
+		if m.Export != "" {
+			exportFile[m.ImportPath] = m.Export
+		}
+	}
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, m := range metas {
+		if !m.target {
+			continue
+		}
+		files := make([]*ast.File, 0, len(m.GoFiles))
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		importMap := m.ImportMap
+		cfg := &types.Config{
+			Importer: importerFunc(func(ip string) (*types.Package, error) {
+				if mapped, ok := importMap[ip]; ok {
+					ip = mapped
+				}
+				return gc.Import(ip)
+			}),
+			Sizes: types.SizesFor("gc", runtime.GOARCH),
+		}
+		info := NewTypesInfo()
+		tpkg, err := cfg.Check(m.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  m.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewTypesInfo allocates the full set of type-checker result maps the
+// analyzers consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	ImportMap  map[string]string
+
+	target bool // named by the patterns (vs. pulled in as a dependency)
+}
+
+// listPackages resolves patterns through the go command: one pass to
+// learn the target set, one -deps -export pass for the import
+// universe's compiled export data.
+func listPackages(dir string, patterns []string) ([]*listPkg, error) {
+	targets, err := runGoList(dir, append([]string{"list", "-json=ImportPath", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, t := range targets {
+		isTarget[t.ImportPath] = true
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,ImportMap", "--"}, patterns...)
+	metas, err := runGoList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range metas {
+		m.target = isTarget[m.ImportPath] && !m.Standard
+	}
+	return metas, nil
+}
+
+func runGoList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var out []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

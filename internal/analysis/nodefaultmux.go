@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDefaultMux preserves PR 7's pprof isolation guarantee: nothing in
+// this codebase ever registers on or serves http.DefaultServeMux.
+// Importing net/http/pprof, a stray http.HandleFunc, or
+// http.ListenAndServe(addr, nil) would silently re-expose the
+// profiling (and any future debug) handlers on the public API port.
+// Flagged:
+//
+//   - any mention of http.DefaultServeMux,
+//   - calls to http.Handle / http.HandleFunc (they register on the
+//     default mux), and
+//   - http.ListenAndServe / ListenAndServeTLS / Serve / ServeTLS with
+//     a nil handler (they serve the default mux).
+var NoDefaultMux = &Analyzer{
+	Name: "nodefaultmux",
+	Doc:  "no handler ever lands on (or is served from) http.DefaultServeMux",
+	Run:  runNoDefaultMux,
+}
+
+// defaultMuxServers maps net/http server functions to the index of
+// their handler argument.
+var defaultMuxServers = map[string]int{
+	"ListenAndServe":    1,
+	"ListenAndServeTLS": 3,
+	"Serve":             1,
+	"ServeTLS":          1,
+}
+
+func runNoDefaultMux(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := pass.Info.Uses[n].(*types.Var); ok &&
+					v.Name() == "DefaultServeMux" && pkgPathOf(v) == "net/http" {
+					pass.Reportf(n.Pos(),
+						"http.DefaultServeMux must never be used; build an explicit *http.ServeMux")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || pkgPathOf(fn) != "net/http" {
+					return true
+				}
+				switch fn.Name() {
+				case "Handle", "HandleFunc":
+					pass.Reportf(n.Pos(),
+						"http.%s registers on DefaultServeMux; register on an explicit mux", fn.Name())
+				default:
+					if idx, ok := defaultMuxServers[fn.Name()]; ok && idx < len(n.Args) {
+						if id, ok := n.Args[idx].(*ast.Ident); ok && id.Name == "nil" {
+							pass.Reportf(n.Args[idx].Pos(),
+								"http.%s with a nil handler serves DefaultServeMux; pass an explicit handler", fn.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

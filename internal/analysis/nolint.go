@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nolintPrefix is the directive comment that suppresses findings:
+//
+//	//gyo:nolint <analyzer>[,<analyzer>...] <reason>
+//
+// The directive applies to findings on its own line, or — when the
+// comment stands alone — to the first following line that holds code.
+// The reason is mandatory and non-empty; a directive without one is
+// reported as a finding of the pseudo-analyzer "nolint" and cannot be
+// suppressed, so a bare nolint fails the build by construction.
+const nolintPrefix = "//gyo:nolint"
+
+// NolintName is the pseudo-analyzer name under which malformed
+// suppression directives are reported.
+const NolintName = "nolint"
+
+// suppression is one parsed, well-formed nolint directive.
+type suppression struct {
+	analyzers map[string]bool
+	file      string // filename the directive lives in
+	line      int    // line the directive suppresses findings on
+}
+
+// parseNolint extracts suppressions and malformed-directive findings
+// from the package's files.
+func parseNolint(fset *token.FileSet, files []*ast.File) (sups []suppression, bad []Diagnostic) {
+	for _, f := range files {
+		// lineHasCode marks lines holding any non-comment token, so a
+		// directive can tell "trailing same-line comment" from "own
+		// line above the code it guards".
+		lineHasCode := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			if n.Pos().IsValid() {
+				lineHasCode[fset.Position(n.Pos()).Line] = true
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, nolintPrefix) {
+					continue
+				}
+				rest := c.Text[len(nolintPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //gyo:nolintfoo — not ours
+				}
+				names, reason := splitDirective(rest)
+				if len(names) == 0 || reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: NolintName,
+						Pos:      c.Pos(),
+						Message:  "malformed //gyo:nolint: need \"//gyo:nolint <analyzer>[,<analyzer>] <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				set := map[string]bool{}
+				for _, n := range names {
+					set[n] = true
+				}
+				line := fset.Position(c.Pos()).Line
+				if !lineHasCode[line] {
+					// Standalone comment: guard the next code line.
+					for l := line + 1; l <= line+8; l++ {
+						if lineHasCode[l] {
+							line = l
+							break
+						}
+					}
+				}
+				sups = append(sups, suppression{
+					analyzers: set,
+					file:      fset.Position(c.Pos()).Filename,
+					line:      line,
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// splitDirective parses " frozenmut,droppederr frozen view is local"
+// into its analyzer list and reason.
+func splitDirective(rest string) (names []string, reason string) {
+	rest = strings.TrimSpace(rest)
+	list, reason, _ := strings.Cut(rest, " ")
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason)
+}
+
+// filterNolint drops diagnostics suppressed by a well-formed directive
+// on the same line and appends the malformed-directive findings.
+// Findings of the nolint pseudo-analyzer itself are never suppressed.
+func filterNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sups, bad := parseNolint(fset, files)
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != NolintName && suppressed(fset, sups, d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return append(out, bad...)
+}
+
+func suppressed(fset *token.FileSet, sups []suppression, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.file == pos.Filename && s.line == pos.Line && s.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

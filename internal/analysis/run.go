@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Package is one fully type-checked unit ready for analysis —
+// produced by Load (standalone mode) or assembled by cmd/gyovet from a
+// `go vet` config.
+type Package struct {
+	Path  string // import path (diagnostics + dedup scope)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// RunPackage runs every analyzer over pkg, applies //gyo:nolint
+// suppression, drops findings located in _test.go files (tests
+// exercise invariant violations on purpose; the suite guards
+// production code), and returns the surviving findings sorted by
+// position. Analyzer-internal errors surface as the error return.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	diags = filterNolint(pkg.Fset, pkg.Files, diags)
+	out := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// parents maps every node of a file to its syntactic parent. The
+// analyzers that must know a node's context (is this selector the
+// receiver of a call?) build one per file.
+func parents(f *ast.File) map[ast.Node]ast.Node {
+	m := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}
+
+// methodOf resolves the called method for a selector call expression:
+// the *types.Func and the receiver expression, or nil when call is not
+// a method call the type-checker resolved.
+func methodOf(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	return fn, sel.X
+}
+
+// calleeFunc resolves a call to a plain (non-method) function object.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if _, isSel := info.Selections[fun]; isSel {
+			return nil // method or field, not a package-level func
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgNameOf returns the name of the package an object is declared in
+// ("" for builtins and objects without a package).
+func pkgNameOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name()
+}
+
+// pkgPathOf returns the import path an object is declared in.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// atomicField reports whether sel resolves to a struct field whose
+// type is declared in sync/atomic (atomic.Pointer[T], atomic.Bool,
+// atomic.Int64, ...). Shared by atomicsnap and ackorder.
+func atomicField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	named, ok := s.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	return pkgPathOf(named.Obj()) == "sync/atomic"
+}
+
+// funcScope walks every function body in f — declarations and
+// literals — invoking fn with the enclosing declaration name ("" for
+// literals outside any declaration).
+func funcScope(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Body == nil {
+			continue
+		}
+		fn(d.Name.Name, d.Body)
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture: ackorder scope — packages outside storage/repl/engine are
+// not checked, so the same reversed pattern raises nothing here.
+package other
+
+import "sync/atomic"
+
+type mutation struct{}
+
+type sink struct{}
+
+// Append is a name collision only; this package is out of scope.
+func (s *sink) Append(muts []mutation) error { return nil }
+
+type database struct{}
+
+type holder struct {
+	db   atomic.Pointer[database]
+	sink *sink
+}
+
+func reversedButOutOfScope(h *holder, muts []mutation) error {
+	h.db.Store(&database{})
+	return h.sink.Append(muts)
+}

@@ -1,0 +1,46 @@
+// Fixture: ackorder — WAL append happens-before snapshot publish.
+// The package is named storage so the analyzer treats it as a durable
+// subsystem.
+package storage
+
+import "sync/atomic"
+
+// Mutation mirrors the logical WAL batch.
+type Mutation struct{}
+
+// Store mirrors the durable store's append surface.
+type Store struct{}
+
+// Append durably logs one batch.
+func (s *Store) Append(muts []Mutation) error { return nil }
+
+// WriteCheckpoint persists a snapshot.
+func (s *Store) WriteCheckpoint(seq uint64) error { return nil }
+
+type database struct{}
+
+type engine struct {
+	db    atomic.Pointer[database]
+	store *Store
+}
+
+func appendThenPublish(e *engine, muts []Mutation) error {
+	if err := e.store.Append(muts); err != nil {
+		return err
+	}
+	e.db.Store(&database{}) // publish after append: the contract
+	return nil
+}
+
+func publishThenAppend(e *engine, muts []Mutation) error {
+	e.db.Store(&database{}) // want `snapshot published before the WAL append`
+	return e.store.Append(muts)
+}
+
+func publishOnly(e *engine) {
+	e.db.Store(&database{}) // no durable write in sight: out of scope
+}
+
+func appendOnly(e *engine, muts []Mutation) error {
+	return e.store.Append(muts)
+}

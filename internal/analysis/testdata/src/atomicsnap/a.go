@@ -1,0 +1,32 @@
+// Fixture: atomicsnap — the engine's snapshot-pointer convention.
+package atomicsnap
+
+import "sync/atomic"
+
+type database struct{ n int }
+
+type engine struct {
+	db    atomic.Pointer[database]
+	gen   atomic.Uint64
+	ready atomic.Bool
+	name  string
+}
+
+func methodCallsAreLegal(e *engine) *database {
+	e.db.Store(&database{})
+	e.gen.Add(1)
+	if e.db.CompareAndSwap(nil, &database{}) {
+		e.ready.Store(true)
+	}
+	_ = e.name // plain fields are out of scope
+	return e.db.Load()
+}
+
+func rawAccess(e *engine, other *engine) {
+	_ = e.db   // want `raw access to atomic field db`
+	p := &e.db // want `raw access to atomic field db`
+	_ = p
+	e.gen = other.gen // want `raw access to atomic field gen`
+	load := e.db.Load // want `atomic field db: method value captured`
+	_ = load
+}

@@ -1,0 +1,41 @@
+// Fixture: errenvelope — every handler error goes through writeError.
+package errenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeError is the designated envelope writer: raw status writes are
+// legal only here.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == 0 {
+		w.WriteHeader(http.StatusInternalServerError) // inside the envelope writer: exempt
+		return
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"code": code, "message": err.Error()})
+}
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http.Error bypasses the /v1 error envelope`
+	w.WriteHeader(http.StatusBadRequest)         // want `bare WriteHeader\(400\) bypasses the /v1 error envelope`
+	w.WriteHeader(503)                           // want `bare WriteHeader\(503\) bypasses the /v1 error envelope`
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, "invalid_request", errBad)
+	w.WriteHeader(http.StatusNoContent) // success statuses are fine
+	w.WriteHeader(204)
+}
+
+func proxiedStatus(w http.ResponseWriter, upstream int) {
+	w.WriteHeader(upstream) // computed statuses are out of scope
+}
+
+var errBad = &statusError{}
+
+type statusError struct{}
+
+func (*statusError) Error() string { return "bad" }

@@ -1,0 +1,34 @@
+// Fixture: droppederr — no statement-level discard of module errors or
+// os.File Sync/Close. The package lives under gyokit/ so its import
+// path falls inside the analyzer's module scope.
+package droppederr
+
+import (
+	"fmt"
+	"os"
+)
+
+type store struct{}
+
+func (s *store) Append(n int) error { return nil }
+
+func (s *store) Len() int { return 0 }
+
+func persist() error { return nil }
+
+func drops(s *store, f *os.File) {
+	s.Append(1) // want `Append returns an error that is silently dropped`
+	f.Sync()    // want `Sync returns an error that is silently dropped`
+	f.Close()   // want `Close returns an error that is silently dropped`
+	persist()   // want `persist returns an error that is silently dropped`
+}
+
+func stated(s *store, f *os.File) {
+	_ = s.Append(1) // explicit discard states intent
+	defer f.Close() // accepted best-effort-cleanup idiom
+	if err := persist(); err != nil {
+		fmt.Println(err)
+	}
+	s.Len()          // no error result: out of scope
+	fmt.Println("x") // non-module callee: out of scope
+}

@@ -1,0 +1,19 @@
+// Package engine is the analysistest stand-in for the serving engine.
+package engine
+
+import "gyokit/internal/relation"
+
+// Engine mirrors the concurrent serving engine.
+type Engine struct {
+	db *relation.Database
+}
+
+// Snapshot returns the current frozen database snapshot.
+func (e *Engine) Snapshot() *relation.Database { return e.db }
+
+// Swap publishes a new snapshot and returns the previous one.
+func (e *Engine) Swap(db *relation.Database) *relation.Database {
+	old := e.db
+	e.db = db
+	return old
+}

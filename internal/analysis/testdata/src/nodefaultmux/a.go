@@ -1,0 +1,27 @@
+// Fixture: nodefaultmux — nothing registers on or serves the default
+// mux.
+package nodefaultmux
+
+import "net/http"
+
+func registrations(mux *http.ServeMux, h http.Handler) {
+	http.Handle("/a", h)           // want `http.Handle registers on DefaultServeMux`
+	http.HandleFunc("/b", handler) // want `http.HandleFunc registers on DefaultServeMux`
+	mux.Handle("/a", h)            // explicit mux: fine
+	mux.HandleFunc("/b", handler)
+}
+
+func servers(h http.Handler) {
+	_ = http.ListenAndServe(":0", nil)              // want `nil handler serves DefaultServeMux`
+	_ = http.ListenAndServeTLS(":0", "c", "k", nil) // want `nil handler serves DefaultServeMux`
+	_ = http.ListenAndServe(":0", h)                // explicit handler: fine
+	srv := &http.Server{Handler: h}
+	_ = srv.ListenAndServe() // method on an explicit Server: fine
+}
+
+func mentions() {
+	mux := http.DefaultServeMux // want `http.DefaultServeMux must never be used`
+	_ = mux
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {}

@@ -1,0 +1,19 @@
+// Fixture: the //gyo:nolint directive. TestNolint asserts the exact
+// finding set by hand (the malformed directive is reported on its own
+// comment, where a want comment cannot sit).
+package nolint
+
+import "net/http"
+
+func suppressedSameLine(h http.Handler) {
+	http.Handle("/a", h) //gyo:nolint nodefaultmux fixture: same-line suppression silences the finding
+}
+
+func suppressedStandalone(h http.Handler) {
+	//gyo:nolint nodefaultmux fixture: a standalone directive guards the next code line
+	http.Handle("/b", h)
+}
+
+func bareDirectiveFailsTheBuild(h http.Handler) {
+	http.Handle("/c", h) //gyo:nolint nodefaultmux
+}

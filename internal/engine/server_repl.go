@@ -136,6 +136,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if len(resp.Reasons) > 0 {
 		resp.Status = "unavailable"
+		//gyo:nolint errenvelope healthz answers 503 with a health document (status + reasons), not an error envelope
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	_ = json.NewEncoder(w).Encode(resp)
@@ -154,6 +155,7 @@ func (s *Server) writeReadOnly(w http.ResponseWriter) {
 		info.Leader = s.Replica.ReplicaStatus().LeaderURL
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//gyo:nolint errenvelope writeReadOnly is itself an envelope writer; it hand-builds ErrorBody to carry the leader redirect field
 	w.WriteHeader(http.StatusConflict)
 	_ = json.NewEncoder(w).Encode(ErrorBody{Error: info})
 }

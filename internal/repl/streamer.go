@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -65,10 +66,23 @@ func NewStreamer(e *engine.Engine, reg *obs.Registry, logf func(string, ...any))
 	return s
 }
 
+// writeError emits the uniform /v1 error envelope. The feed endpoints
+// are binary streams on success, but their failures are JSON like
+// every other /v1 error, so followers and operators see one error
+// shape everywhere.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(engine.ErrorBody{Error: engine.ErrorInfo{
+		Code:    code,
+		Message: message,
+	}})
+}
+
 func (s *Streamer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		http.Error(w, "replication feed is GET-only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "replication feed is GET-only")
 		return
 	}
 	switch r.URL.Path {
@@ -87,25 +101,25 @@ func (s *Streamer) serveWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	store := s.e.Store()
 	if store == nil {
-		http.Error(w, "this node has no durable store to replicate", http.StatusConflict)
+		writeError(w, http.StatusConflict, "not_replicable", "this node has no durable store to replicate")
 		return
 	}
 	q := r.URL.Query()
 	seg, err := strconv.ParseUint(q.Get("seg"), 10, 64)
 	if err != nil {
-		http.Error(w, "bad seg parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad seg parameter")
 		return
 	}
 	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
 	if err != nil || off < 0 {
-		http.Error(w, "bad off parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad off parameter")
 		return
 	}
 	maxBytes := defaultFeedWindow
 	if v := q.Get("max"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			http.Error(w, "bad max parameter", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "invalid_request", "bad max parameter")
 			return
 		}
 		maxBytes = min(n, maxFeedFrameBytes/2)
@@ -114,7 +128,7 @@ func (s *Streamer) serveWAL(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("wait"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d < 0 {
-			http.Error(w, "bad wait parameter", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "invalid_request", "bad wait parameter")
 			return
 		}
 		wait = min(d, maxLongPollWait)
@@ -129,18 +143,18 @@ func (s *Streamer) serveWAL(w http.ResponseWriter, r *http.Request) {
 		notify := store.AppendNotify()
 		win, err = store.ReadWAL(req, maxBytes)
 		if err != nil {
-			status := http.StatusInternalServerError
+			status, code := http.StatusInternalServerError, "internal"
 			switch {
 			case errors.Is(err, storage.ErrCursorGone), errors.Is(err, storage.ErrCursorInvalid):
 				// 410: the cursor is permanently unservable here — the
 				// follower must stop, not retry.
-				status = http.StatusGone
+				status, code = http.StatusGone, "cursor_gone"
 			default:
 				if s.logf != nil {
 					s.logf("repl: feed read at %v failed: %v", req, err)
 				}
 			}
-			http.Error(w, err.Error(), status)
+			writeError(w, status, code, err.Error())
 			return
 		}
 		if len(win.Frames) > 0 || win.Next != req {
@@ -199,7 +213,7 @@ func (s *Streamer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	db, cur, err := s.e.ReplSnapshot()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeError(w, http.StatusConflict, "not_replicable", err.Error())
 		return
 	}
 	store := s.e.Store()

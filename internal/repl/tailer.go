@@ -332,8 +332,13 @@ func (t *Tailer) poll() error {
 
 	if leaderID == 0 && saveID != 0 {
 		// First contact with an identity the sidecar lacked (legacy
-		// bootstrap): persist it so a later restart still verifies.
-		t.saveSidecar(saveID)
+		// bootstrap): persist it so a later restart still verifies. A
+		// failed save is not fatal — replication stays correct, only
+		// the identity check waits for the next successful persist —
+		// but it must not pass silently.
+		if err := t.saveSidecar(saveID); err != nil && t.logf != nil {
+			t.logf("repl: persisting leader identity failed: %v", err)
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("repl: reading feed frames: %w", err)

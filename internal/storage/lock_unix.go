@@ -20,7 +20,7 @@ func lockDir(dir string) (*os.File, error) {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
 	}
 	return f, nil

@@ -219,7 +219,7 @@ func loadManifest(dir string, seq uint64) (st manifestState, err error) {
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 		}
 	}()
 	fi, err := f.Stat()
@@ -375,16 +375,16 @@ func writeSnapshotFile(path string, magic []byte, seq uint64, payload []byte, sy
 		return err
 	}
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if _, err := f.Write(payload); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}

@@ -509,7 +509,7 @@ func InstallReplSnapshot(dir string, r io.Reader) (err error) {
 	closed := false
 	defer func() {
 		if !closed {
-			f.Close()
+			_ = f.Close()
 		}
 	}()
 	bw := bufio.NewWriterSize(f, 1<<16)

@@ -255,7 +255,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	opened := false
 	defer func() {
 		if !opened && lockf != nil {
-			lockf.Close()
+			_ = lockf.Close()
 		}
 	}()
 	entries, err := os.ReadDir(dir)
@@ -293,7 +293,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	s := &Store{dir: dir, opt: opt, segSizes: map[uint64]int64{}}
 	defer func() {
 		if !opened && s.chunkf != nil {
-			s.chunkf.Close()
+			_ = s.chunkf.Close()
 		}
 	}()
 
@@ -402,23 +402,23 @@ func Open(dir string, opt Options) (*Store, error) {
 			lastValidLen = 0
 		}
 		if err := f.Truncate(lastValidLen); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if lastValidLen == 0 {
 			if _, err := f.Write(walMagic); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, err
 			}
 			lastValidLen = walHeaderLen
 		}
 		if _, err := f.Seek(lastValidLen, 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if !opt.NoSync {
 			if err := f.Sync(); err != nil { // persist the tail truncation
-				f.Close()
+				_ = f.Close()
 				return nil, err
 			}
 		}
@@ -600,18 +600,18 @@ func (s *Store) openSegment(seq uint64) (*os.File, error) {
 		return nil, err
 	}
 	if _, err := f.Write(walMagic); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(path)
 		return nil, err
 	}
 	if !s.opt.NoSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(path)
 			return nil, err
 		}
 		if err := syncDir(s.dir); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(path)
 			return nil, err
 		}
@@ -643,12 +643,12 @@ func (s *Store) rotateLocked() error {
 	if s.seg != nil {
 		if !s.opt.NoSync {
 			if err := s.seg.Sync(); err != nil {
-				f.Close()
+				_ = f.Close()
 				os.Remove(filepath.Join(s.dir, segName(s.segSeq+1)))
 				return err
 			}
 		}
-		s.seg.Close()
+		_ = s.seg.Close()
 	}
 	s.segSeq++
 	s.seg = f
@@ -823,7 +823,7 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 			return err
 		}
 		if _, err = f.Write(chunkMagic); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(path)
 			return err
 		}
@@ -837,7 +837,7 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 	// appending behind garbage.
 	abortChunks := func(rollback bool) {
 		if fresh {
-			f.Close()
+			_ = f.Close()
 			os.Remove(filepath.Join(s.dir, chunkStoreName(gen)))
 			return
 		}
@@ -846,7 +846,7 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 				return
 			}
 		}
-		s.chunkf.Close()
+		_ = s.chunkf.Close()
 		s.chunkf, s.chunkTable = nil, nil
 		s.chunkSize, s.chunkLive = 0, 0
 	}
@@ -913,7 +913,7 @@ func (s *Store) WriteCheckpoint(seq uint64, db *relation.Database) (err error) {
 	// pruning it here matches what a reload from this manifest rebuilds.
 	if fresh {
 		if s.chunkf != nil {
-			s.chunkf.Close()
+			_ = s.chunkf.Close()
 		}
 		s.chunkf, s.chunkGen, s.chunkTable = f, gen, newRefs
 	} else {
@@ -1031,7 +1031,7 @@ func (s *Store) Synced() bool { return !s.opt.NoSync }
 func (s *Store) Close() error {
 	s.ckptFileMu.Lock()
 	if s.chunkf != nil {
-		s.chunkf.Close()
+		_ = s.chunkf.Close()
 		s.chunkf = nil
 	}
 	s.ckptFileMu.Unlock()
@@ -1042,14 +1042,14 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if s.lockf != nil {
-		defer func() { s.lockf.Close(); s.lockf = nil }() // releases the dir lock
+		defer func() { _ = s.lockf.Close(); s.lockf = nil }() // releases the dir lock
 	}
 	if s.seg == nil {
 		return nil
 	}
 	if !s.opt.NoSync {
 		if err := s.seg.Sync(); err != nil {
-			s.seg.Close()
+			_ = s.seg.Close()
 			return err
 		}
 	}
